@@ -1,0 +1,21 @@
+# Convenience targets for the RDF-Analytics reproduction.
+
+.PHONY: install test bench examples all clean
+
+install:
+	pip install -e . --no-build-isolation || pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo ok; done
+
+all: test bench
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

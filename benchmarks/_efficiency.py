@@ -1,0 +1,62 @@
+"""Shared driver of the efficiency experiments (Tables 6.1 / 6.2).
+
+Runs the Q1–Q10 workload over synthetic KGs of three sizes through the
+latency-simulated remote endpoint, several repetitions each, and builds
+the table: per query, the mean end-to-end time (engine + simulated
+network) per dataset size.
+"""
+
+from repro.datasets import SyntheticConfig, synthetic_graph
+from repro.endpoint import NetworkModel, RemoteEndpointSimulator
+from repro.hifun import translate
+from repro.rdf.namespace import EX
+
+from _workload import WORKLOAD
+
+SIZES = (100, 400, 1600)
+REPETITIONS = 3
+
+
+def build_graphs():
+    return {
+        size: synthetic_graph(SyntheticConfig(laptops=size, seed=13))
+        for size in SIZES
+    }
+
+
+def run_efficiency(graphs, model: NetworkModel, seed: int = 0):
+    """Returns rows: (qid, description, [(engine, total) per size])."""
+    rows = []
+    for qid, description, query in WORKLOAD:
+        means = []
+        for size in SIZES:
+            endpoint = RemoteEndpointSimulator(
+                graphs[size], model, seed=seed + size
+            )
+            translation = translate(query, root_class=EX.Laptop)
+            for _ in range(REPETITIONS):
+                endpoint.query(translation.text)
+            engine = sum(s.engine_seconds for s in endpoint.history)
+            total = sum(s.total_seconds for s in endpoint.history)
+            means.append((engine / REPETITIONS, total / REPETITIONS))
+        rows.append((qid, description, means))
+    return rows
+
+
+def render(rows, model_name: str, format_table) -> str:
+    headers = ["query", "description"] + [
+        f"{s} laptops: engine / total (s)" for s in SIZES
+    ]
+    body = [
+        (
+            qid,
+            description,
+            *(f"{engine:.3f} / {total:.3f}" for engine, total in means),
+        )
+        for qid, description, means in rows
+    ]
+    title = (
+        f"Efficiency — {model_name} hours "
+        "(mean per query; total = engine + simulated network)\n"
+    )
+    return title + format_table(headers, body)

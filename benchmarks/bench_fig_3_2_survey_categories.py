@@ -1,0 +1,23 @@
+"""Fig. 3.2 — the number of surveyed works per category (C1–C5).
+
+Regenerated from the in-code survey catalog.  Paper shape: C1 and C2
+are the largest categories.
+"""
+
+from repro.survey import CATEGORIES, works_per_category
+
+from conftest import format_table
+
+
+def test_fig_3_2_categories(benchmark, artifact_writer):
+    counts = benchmark(works_per_category)
+    body = [
+        (category, counts[category], "█" * counts[category])
+        for category in CATEGORIES
+    ]
+    text = "Surveyed works per category (Fig. 3.2)\n"
+    text += format_table(["category", "works", "bar"], body)
+    artifact_writer("fig_3_2_survey_categories.txt", text)
+
+    assert counts["C1"] == max(counts.values())
+    assert counts["C1"] >= counts["C3"] and counts["C2"] >= counts["C4"]

@@ -1,0 +1,30 @@
+"""Fig. 3.3 — publication years of the surveyed works.
+
+Paper shape: most surveyed papers fall in 2013–2017; the most recent
+ones (2018–2022) are mainly C3 (pipelines) and C5 (LOD-scale quality).
+"""
+
+from repro.survey import SURVEYED_WORKS, works_per_year
+
+from conftest import format_table
+
+
+def test_fig_3_3_years(benchmark, artifact_writer):
+    counts = benchmark(works_per_year)
+    body = [(year, n, "█" * n) for year, n in counts.items()]
+    text = "Publication years of the surveyed works (Fig. 3.3)\n"
+    text += format_table(["year", "works", "bar"], body)
+    recent = [w for w in SURVEYED_WORKS if w.year >= 2018]
+    recent_c3_c5 = [w for w in recent if w.category in ("C3", "C5")]
+    text += (
+        f"\n2018–2022 works: {len(recent)}, of which C3/C5: "
+        f"{len(recent_c3_c5)}\n"
+    )
+    artifact_writer("fig_3_3_survey_years.txt", text)
+
+    window = sum(n for year, n in counts.items() if 2013 <= year <= 2017)
+    assert window >= max(
+        sum(n for year, n in counts.items() if 2008 <= year <= 2012),
+        sum(n for year, n in counts.items() if 2018 <= year <= 2022),
+    )
+    assert len(recent_c3_c5) / len(recent) >= 0.5

@@ -1,0 +1,52 @@
+"""Fig. 5.5 — property-path-based transition markers.
+
+Regenerates panel (b): expanding the laptops' ``manufacturer`` facet to
+``origin`` (US (1), China (1)) and the ``hardDrive`` facet through
+``manufacturer`` (Maxtor (2), AVDElectronics (1)) to ``origin``
+(Singapore (1), US (1)).
+"""
+
+from repro.datasets import products_graph
+from repro.facets import FacetedSession
+from repro.rdf.namespace import EX
+
+
+PATHS = (
+    (EX.manufacturer,),
+    (EX.manufacturer, EX.origin),
+    (EX.hardDrive,),
+    (EX.hardDrive, EX.manufacturer),
+    (EX.hardDrive, EX.manufacturer, EX.origin),
+)
+
+
+def build_fig_5_5():
+    session = FacetedSession(products_graph())
+    session.select_class(EX.Laptop)
+    lines = []
+    facets = {}
+    for path in PATHS:
+        facet = session.facet(path)
+        facets[path] = facet
+        lines.append(str(facet))
+        lines.extend(f"  {value}" for value in facet.values)
+    return lines, facets
+
+
+def test_fig_5_5(benchmark, artifact_writer):
+    lines, facets = benchmark(build_fig_5_5)
+    text = "Fig 5.5 (b) — property-path transition markers (laptops):\n"
+    text += "".join(f"  {line}\n" for line in lines)
+    artifact_writer("fig_5_5_path_markers.txt", text)
+
+    def values(path):
+        return {str(v) for v in facets[path].values}
+
+    assert values((EX.manufacturer,)) == {"DELL (2)", "Lenovo (1)"}
+    assert values((EX.manufacturer, EX.origin)) == {"US (1)", "China (1)"}
+    assert values((EX.hardDrive, EX.manufacturer)) == {
+        "Maxtor (2)", "AVDElectronics (1)",
+    }
+    assert values((EX.hardDrive, EX.manufacturer, EX.origin)) == {
+        "Singapore (1)", "US (1)",
+    }

@@ -1,0 +1,70 @@
+"""Fig. 7.2 — the roll-up / drill-down example.
+
+Regenerates the month ↔ year walk on the invoices cube: the monthly
+view, its roll-up to years, and the drill-down back — asserting the
+drill-down restores the original view and that totals are preserved.
+"""
+
+from repro.datasets import invoices_graph
+from repro.hifun import Attribute
+from repro.hifun.attributes import Derived
+from repro.olap import Cube, Dimension, Hierarchy, drill_down, roll_up
+from repro.rdf.namespace import EX
+
+from conftest import format_table
+
+
+def build_cube():
+    has_date = Attribute(EX.hasDate)
+    time = Hierarchy(
+        "time",
+        (
+            ("date", has_date),
+            ("month", Derived("MONTH", has_date)),
+            ("year", Derived("YEAR", has_date)),
+        ),
+    )
+    return Cube(
+        invoices_graph(),
+        EX.Invoice,
+        [Dimension("branch", Attribute(EX.takesPlaceAt)),
+         Dimension("time", hierarchy=time)],
+        Attribute(EX.inQuantity),
+        "SUM",
+        levels={"time": "month"},
+    )
+
+
+def rows_of(cube):
+    out = []
+    for key, values in cube.evaluate().items():
+        rendered = tuple(
+            t.local_name() if t.__class__.__name__ == "IRI" else t.to_python()
+            for t in key
+        )
+        out.append((*rendered, values["SUM"].to_python()))
+    return out
+
+
+def run_fig_7_2():
+    cube = build_cube()
+    monthly = rows_of(cube)
+    yearly_cube = roll_up(cube, "time")
+    yearly = rows_of(yearly_cube)
+    back = rows_of(drill_down(yearly_cube, "time"))
+    return monthly, yearly, back
+
+
+def test_fig_7_2(benchmark, artifact_writer):
+    monthly, yearly, back = benchmark(run_fig_7_2)
+    text = "Roll-up and drill-down (Fig. 7.2)\n\nMonthly view:\n"
+    text += format_table(["branch", "month", "SUM(qty)"], monthly)
+    text += "\nRolled up to years:\n"
+    text += format_table(["branch", "year", "SUM(qty)"], yearly)
+    text += "\nDrill-down restores the monthly view: "
+    text += "yes\n" if sorted(back) == sorted(monthly) else "NO\n"
+    artifact_writer("fig_7_2_rollup_drilldown.txt", text)
+
+    assert sorted(back) == sorted(monthly)
+    assert sum(r[-1] for r in monthly) == sum(r[-1] for r in yearly) == 1500
+    assert ("branch1", 2020, 300) in yearly

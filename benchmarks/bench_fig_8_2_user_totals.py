@@ -1,0 +1,38 @@
+"""Fig. 8.2 — task-based evaluation: total completion and total rating.
+
+Aggregates the Fig. 8.1 study over all tasks and cohorts.  Paper shape:
+total completion in the high 80s–90s %, total rating around 4+/5.
+"""
+
+from repro.evaluation import run_user_study
+
+from conftest import format_table
+
+
+def run_fig_8_2():
+    study = run_user_study()
+    total_completion, total_rating = study.totals()
+    per_cohort = {}
+    for cohort in ("IT background", "no IT background"):
+        rows = study.per_cohort_task(cohort)
+        per_cohort[cohort] = (
+            sum(c for _, c, _ in rows) / len(rows),
+            sum(r for _, _, r in rows) / len(rows),
+        )
+    return total_completion, total_rating, per_cohort
+
+
+def test_fig_8_2_totals(benchmark, artifact_writer):
+    completion, rating, per_cohort = benchmark.pedantic(
+        run_fig_8_2, rounds=1, iterations=1
+    )
+    body = [("all users", f"{completion:.1f}%", f"{rating:.2f}")]
+    for cohort, (c, r) in per_cohort.items():
+        body.append((cohort, f"{c:.1f}%", f"{r:.2f}"))
+    text = "Task-based evaluation — totals\n"
+    text += format_table(["cohort", "total completion", "total rating"], body)
+    artifact_writer("fig_8_2_user_totals.txt", text)
+
+    assert 80.0 <= completion <= 100.0
+    assert 3.5 <= rating <= 5.0
+    assert per_cohort["IT background"][0] >= per_cohort["no IT background"][0]

@@ -1,0 +1,77 @@
+"""§6.4 — scalability of facet computation with dataset size.
+
+Measures, over synthetic KGs of growing size, the cost of the
+interaction-critical operations: session startup (closure), class
+markers, property facets with counts, a path expansion, and a full
+analytic run.  Shape: near-linear growth.
+"""
+
+import time
+
+import pytest
+
+from repro.datasets import SyntheticConfig, synthetic_graph
+from repro.facets import FacetedAnalyticsSession
+from repro.rdf.namespace import EX
+
+from conftest import format_table
+
+SIZES = (100, 400, 1600)
+
+
+def measure(size):
+    graph = synthetic_graph(SyntheticConfig(laptops=size, seed=21))
+    timings = {}
+    started = time.perf_counter()
+    session = FacetedAnalyticsSession(graph)
+    timings["startup (closure)"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    session.class_markers(expanded=True)
+    timings["class markers"] = time.perf_counter() - started
+
+    session.select_class(EX.Laptop)
+    started = time.perf_counter()
+    session.property_facets()
+    timings["property facets"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    session.facet((EX.manufacturer, EX.origin, EX.locatedAt))
+    timings["path expansion (3)"] = time.perf_counter() - started
+
+    session.group_by((EX.manufacturer,))
+    session.measure((EX.price,), "AVG")
+    started = time.perf_counter()
+    session.run()
+    timings["analytic run"] = time.perf_counter() - started
+    return timings
+
+
+def run_scalability():
+    return {size: measure(size) for size in SIZES}
+
+
+def test_scalability(benchmark, artifact_writer):
+    results = benchmark.pedantic(run_scalability, rounds=1, iterations=1)
+    operations = list(results[SIZES[0]].keys())
+    body = [
+        (op, *(f"{results[size][op] * 1000:.1f} ms" for size in SIZES))
+        for op in operations
+    ]
+    text = "Scalability of the interaction-critical operations (§6.4)\n"
+    text += format_table(["operation"] + [f"{s} laptops" for s in SIZES], body)
+    artifact_writer("scalability_facets.txt", text)
+
+    # Shape: no catastrophic blow-up — 16× data within ~64× time.
+    for op in operations:
+        small, large = results[SIZES[0]][op], results[SIZES[-1]][op]
+        assert large < max(small, 1e-4) * 300
+
+
+def test_facet_computation_speed(benchmark):
+    """Micro-benchmark: property facets over a 400-laptop graph."""
+    graph = synthetic_graph(SyntheticConfig(laptops=400, seed=21))
+    session = FacetedAnalyticsSession(graph)
+    session.select_class(EX.Laptop)
+    facets = benchmark(session.property_facets)
+    assert len(facets) >= 5

@@ -1,0 +1,34 @@
+"""Table 6.1 — Efficiency at *peak* hours.
+
+Reproduces the shape of the dissertation's peak-hour measurements: the
+Q1–Q10 workload against the latency-simulated remote endpoint under the
+``peak`` network model (higher base latency, heavy jitter, server load).
+Expected shape: every query is slower than off-peak (Table 6.2), and
+times grow with query complexity and dataset size.
+"""
+
+import pytest
+
+from repro.endpoint import NetworkModel
+
+from _efficiency import build_graphs, render, run_efficiency
+from conftest import format_table
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return build_graphs()
+
+
+def test_table_6_1_peak(benchmark, graphs, artifact_writer):
+    rows = benchmark.pedantic(
+        run_efficiency, args=(graphs, NetworkModel.peak()), rounds=1, iterations=1
+    )
+    artifact_writer("table_6_1_efficiency_peak.txt", render(rows, "peak", format_table))
+    # Shape assertions: engine time grows with dataset size for the
+    # grouped queries, and the complex tail needs more engine time than
+    # the trivial head on the largest dataset.
+    by_query = {qid: means for qid, _, means in rows}
+    q4_engine = [engine for engine, _ in by_query["Q4"]]
+    assert q4_engine[-1] > q4_engine[0]
+    assert by_query["Q8"][-1][0] > by_query["Q1"][-1][0]

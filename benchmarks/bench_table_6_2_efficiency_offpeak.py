@@ -1,0 +1,37 @@
+"""Table 6.2 — Efficiency at *off-peak* hours.
+
+The same Q1–Q10 workload as Table 6.1 under the ``offpeak`` network
+model.  The paper's shape to reproduce: identical engine behaviour, but
+clearly lower and more stable end-to-end times than peak hours.
+"""
+
+import pytest
+
+from repro.endpoint import NetworkModel
+
+from _efficiency import build_graphs, render, run_efficiency
+from conftest import format_table
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return build_graphs()
+
+
+def test_table_6_2_offpeak(benchmark, graphs, artifact_writer):
+    rows = benchmark.pedantic(
+        run_efficiency,
+        args=(graphs, NetworkModel.offpeak()),
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer(
+        "table_6_2_efficiency_offpeak.txt", render(rows, "off-peak", format_table)
+    )
+    # Off-peak must beat peak per query on the same seeds (shape check).
+    peak_rows = run_efficiency(graphs, NetworkModel.peak())
+    for (qid, _, off), (qid2, _, peak) in zip(rows, peak_rows):
+        assert qid == qid2
+        off_total = sum(total for _, total in off)
+        peak_total = sum(total for _, total in peak)
+        assert off_total < peak_total, qid

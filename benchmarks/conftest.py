@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the dissertation and
+writes the rendered artifact under ``benchmarks/out/`` (also echoed to
+stdout), so a plain ``pytest benchmarks/ --benchmark-only`` leaves the
+full set of reproduced tables/figures on disk.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def artifact_writer():
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def write(name: str, text: str) -> str:
+        path = os.path.join(OUT_DIR, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"\n===== {name} =====")
+        print(text)
+        return path
+
+    return write
+
+
+def format_table(headers, rows) -> str:
+    """Plain-text table used by all artifacts."""
+    cells = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = [
+        " | ".join(value.ljust(width) for value, width in zip(cells[0], widths)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in cells[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"

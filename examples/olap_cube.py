@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""OLAP over an RDF knowledge graph (Chapter 7, Fig. 7.2).
+
+Builds a cube over the invoices KG — dimensions *branch* and *time*
+(date < month < year hierarchy), measure SUM(quantity) — and walks
+through roll-up, drill-down, slice, dice and pivot, printing each view
+and the HIFUN query behind it.
+
+Run with:  python examples/olap_cube.py
+"""
+
+from repro.datasets import invoices_graph
+from repro.hifun import Attribute
+from repro.hifun.attributes import Derived
+from repro.olap import (
+    Cube,
+    Dimension,
+    Hierarchy,
+    dice,
+    drill_down,
+    pivot,
+    roll_up,
+    slice_,
+)
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Literal
+
+
+def show(title, cube):
+    print(f"--- {title}")
+    print(f"    {cube.describe()}")
+    print(f"    HIFUN: {cube.query()}")
+    for key, values in cube.evaluate().items():
+        rendered_key = ", ".join(
+            t.local_name() if t.__class__.__name__ == "IRI" else str(t)
+            for t in key
+        )
+        print(f"    ({rendered_key}) -> {values['SUM']}")
+    print()
+
+
+def main() -> None:
+    graph = invoices_graph()
+    has_date = Attribute(EX.hasDate)
+    time = Hierarchy(
+        "time",
+        (
+            ("date", has_date),
+            ("month", Derived("MONTH", has_date)),
+            ("year", Derived("YEAR", has_date)),
+        ),
+    )
+    cube = Cube(
+        graph,
+        EX.Invoice,
+        [
+            Dimension("branch", Attribute(EX.takesPlaceAt)),
+            Dimension("time", hierarchy=time),
+        ],
+        Attribute(EX.inQuantity),
+        "SUM",
+        levels={"time": "month"},
+    )
+
+    show("Base view: SUM(quantity) by branch × month", cube)
+
+    yearly = roll_up(cube, "time")
+    show("Roll-up: month → year (Fig. 7.2)", yearly)
+
+    monthly_again = drill_down(yearly, "time")
+    show("Drill-down: year → month (inverse)", monthly_again)
+
+    only_b3 = slice_(cube, "branch", EX.branch3)
+    show("Slice: fix branch = branch3 (dimension drops out)", only_b3)
+
+    early = dice(cube, {"time": ("<=", Literal.of(2))})
+    show("Dice: keep only months ≤ 2 (sub-cube)", early)
+
+    rotated = pivot(cube, ["time", "branch"])
+    show("Pivot: time × branch (rotated key)", rotated)
+
+
+if __name__ == "__main__":
+    main()

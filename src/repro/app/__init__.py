@@ -1,0 +1,15 @@
+"""The RDF-Analytics terminal application (Chapter 6's running system,
+minus the browser).
+
+:class:`repro.app.cli.AnalyticsShell` is a command-driven front end over
+:class:`~repro.facets.analytics.FacetedAnalyticsSession` exposing every
+GUI action of Fig. 5.1/6.2 as a command (``classes``, ``facets``,
+``select``, ``expand``, ``filter``, ``group``, ``measure``, ``run``,
+``explore``, ``back``, ``save``/``load``...).  It is fully scriptable —
+each command takes a line and returns the printed output — which is how
+the test suite drives it.
+"""
+
+from repro.app.cli import AnalyticsShell
+
+__all__ = ["AnalyticsShell"]

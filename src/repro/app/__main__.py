@@ -1,0 +1,6 @@
+"""``python -m repro.app`` — the RDF-Analytics shell."""
+
+from repro.app.cli import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""A cultural-domain knowledge graph (the §3.2.3 example domain).
+
+The dissertation motivates domain-specific analytic queries such as
+*"all paintings of El Greco grouped by exhibition country"* (cultural
+domain).  This small museum KG exercises exactly that shape — and,
+importantly, it is **not** a star schema: paintings, painters, museums,
+movements and cities interlink in several directions, which is the
+"applicability to any RDF graph" claim of §1.4 (i).
+
+Schema: ``Painting`` —creator→ ``Painter`` —movement→ ``Movement``;
+``Painting`` —exhibitedAt→ ``Museum`` —locatedIn→ ``City`` —country→
+``Country``; painters also have a ``born`` country and paintings a
+``year``.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.graph import Graph
+from repro.rdf.turtle import parse
+
+MUSEUM_TTL = """
+@prefix ex: <http://www.ics.forth.gr/example#> .
+
+ex:Painting a rdfs:Class .
+ex:Painter a rdfs:Class .
+ex:Museum a rdfs:Class .
+ex:Movement a rdfs:Class .
+ex:City a rdfs:Class .
+ex:MCountry a rdfs:Class .
+
+ex:creator a rdf:Property ; rdfs:domain ex:Painting ; rdfs:range ex:Painter .
+ex:exhibitedAt a rdf:Property ; rdfs:domain ex:Painting ; rdfs:range ex:Museum .
+ex:movement a rdf:Property ; rdfs:domain ex:Painter ; rdfs:range ex:Movement .
+ex:born a rdf:Property ; rdfs:domain ex:Painter ; rdfs:range ex:MCountry .
+ex:locatedIn a rdf:Property ; rdfs:domain ex:Museum ; rdfs:range ex:City .
+ex:country a rdf:Property ; rdfs:domain ex:City ; rdfs:range ex:MCountry .
+ex:year a rdf:Property ; rdfs:domain ex:Painting .
+
+# --- Countries and cities ---------------------------------------------
+ex:Greece a ex:MCountry . ex:Spain a ex:MCountry . ex:France a ex:MCountry .
+ex:Netherlands a ex:MCountry . ex:UK a ex:MCountry . ex:USA a ex:MCountry .
+ex:Madrid a ex:City ; ex:country ex:Spain .
+ex:Toledo a ex:City ; ex:country ex:Spain .
+ex:Paris a ex:City ; ex:country ex:France .
+ex:London a ex:City ; ex:country ex:UK .
+ex:NewYork a ex:City ; ex:country ex:USA .
+ex:Amsterdam a ex:City ; ex:country ex:Netherlands .
+
+# --- Movements ---------------------------------------------------------
+ex:Mannerism a ex:Movement .
+ex:Impressionism a ex:Movement .
+ex:PostImpressionism a ex:Movement .
+
+# --- Painters ----------------------------------------------------------
+ex:ElGreco a ex:Painter ; ex:movement ex:Mannerism ; ex:born ex:Greece .
+ex:Monet a ex:Painter ; ex:movement ex:Impressionism ; ex:born ex:France .
+ex:VanGogh a ex:Painter ; ex:movement ex:PostImpressionism ;
+    ex:born ex:Netherlands .
+
+# --- Museums -----------------------------------------------------------
+ex:Prado a ex:Museum ; ex:locatedIn ex:Madrid .
+ex:GrecoMuseum a ex:Museum ; ex:locatedIn ex:Toledo .
+ex:Orsay a ex:Museum ; ex:locatedIn ex:Paris .
+ex:NationalGallery a ex:Museum ; ex:locatedIn ex:London .
+ex:MoMA a ex:Museum ; ex:locatedIn ex:NewYork .
+ex:VanGoghMuseum a ex:Museum ; ex:locatedIn ex:Amsterdam .
+
+# --- Paintings -----------------------------------------------------------
+ex:BurialOfCountOrgaz a ex:Painting ; ex:creator ex:ElGreco ;
+    ex:exhibitedAt ex:GrecoMuseum ; ex:year 1586 .
+ex:ViewOfToledo a ex:Painting ; ex:creator ex:ElGreco ;
+    ex:exhibitedAt ex:MoMA ; ex:year 1600 .
+ex:NobleManWithHand a ex:Painting ; ex:creator ex:ElGreco ;
+    ex:exhibitedAt ex:Prado ; ex:year 1580 .
+ex:Trinity a ex:Painting ; ex:creator ex:ElGreco ;
+    ex:exhibitedAt ex:Prado ; ex:year 1579 .
+ex:WaterLilies a ex:Painting ; ex:creator ex:Monet ;
+    ex:exhibitedAt ex:Orsay ; ex:year 1906 .
+ex:Impression a ex:Painting ; ex:creator ex:Monet ;
+    ex:exhibitedAt ex:Orsay ; ex:year 1872 .
+ex:Sunflowers a ex:Painting ; ex:creator ex:VanGogh ;
+    ex:exhibitedAt ex:NationalGallery ; ex:year 1888 .
+ex:StarryNight a ex:Painting ; ex:creator ex:VanGogh ;
+    ex:exhibitedAt ex:MoMA ; ex:year 1889 .
+ex:Irises a ex:Painting ; ex:creator ex:VanGogh ;
+    ex:exhibitedAt ex:VanGoghMuseum ; ex:year 1889 .
+"""
+
+
+def museum_graph() -> Graph:
+    """The cultural-domain KG (paintings, painters, museums, places)."""
+    return parse(MUSEUM_TTL)

@@ -1,0 +1,26 @@
+"""SPARQL endpoints: local evaluation and a simulated remote endpoint.
+
+The dissertation's efficiency study (§6.4, Tables 6.1/6.2) measures
+end-to-end query times against a live SPARQL endpoint at *peak* and
+*off-peak* hours.  We have no network, so :class:`RemoteEndpointSimulator`
+wraps the local engine in a calibrated network/load model
+(:class:`NetworkModel`): per-request latency is sampled from a seeded
+log-normal whose location/scale differ between the two regimes, plus a
+per-result-row transfer cost.  The *shape* of the paper's tables —
+peak > off-peak, growth with query complexity and result size — comes
+from the same mechanism that produced it on the real testbed.
+"""
+
+from repro.endpoint.endpoint import (
+    LocalEndpoint,
+    NetworkModel,
+    QueryStats,
+    RemoteEndpointSimulator,
+)
+
+__all__ = [
+    "LocalEndpoint",
+    "NetworkModel",
+    "QueryStats",
+    "RemoteEndpointSimulator",
+]

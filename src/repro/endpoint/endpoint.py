@@ -1,0 +1,114 @@
+"""Local and latency-simulated SPARQL endpoints (§6.4 substrate)."""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.rdf.graph import Graph
+from repro.sparql import query as sparql_query
+from repro.sparql.results import SelectResult
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Timing breakdown of one endpoint request (seconds).
+
+    ``network_seconds`` is zero for local endpoints; for the simulator it
+    is *virtual* time (sampled, not slept) unless the endpoint was
+    created with ``sleep=True``.
+    """
+
+    engine_seconds: float
+    network_seconds: float
+    rows: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.engine_seconds + self.network_seconds
+
+
+class LocalEndpoint:
+    """A SPARQL endpoint over an in-process graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.history: List[QueryStats] = []
+
+    def query(self, text: str):
+        """Evaluate a query; timing is recorded in :attr:`history`."""
+        started = time.perf_counter()
+        result = sparql_query(self.graph, text)
+        elapsed = time.perf_counter() - started
+        rows = len(result) if isinstance(result, SelectResult) else 0
+        self.history.append(QueryStats(elapsed, 0.0, rows))
+        return result
+
+    @property
+    def last(self) -> Optional[QueryStats]:
+        return self.history[-1] if self.history else None
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A per-request latency model with lognormal jitter.
+
+    ``total = base_latency * lognormal(sigma) * load + per_row * rows``
+
+    The peak/off-peak presets are calibrated so that peak-hour requests
+    are a few times slower and noticeably more variable — the qualitative
+    difference between Tables 6.1 and 6.2.
+    """
+
+    name: str
+    base_latency: float  # seconds, median round-trip under no load
+    sigma: float         # lognormal scale (jitter)
+    load: float          # multiplicative server-load factor
+    per_row: float       # seconds per transferred result row
+
+    @classmethod
+    def peak(cls) -> "NetworkModel":
+        return cls(name="peak", base_latency=0.180, sigma=0.55, load=2.4,
+                   per_row=0.0009)
+
+    @classmethod
+    def offpeak(cls) -> "NetworkModel":
+        return cls(name="offpeak", base_latency=0.120, sigma=0.25, load=1.0,
+                   per_row=0.0004)
+
+    def sample(self, rng: random.Random, rows: int) -> float:
+        jitter = rng.lognormvariate(0.0, self.sigma)
+        return self.base_latency * jitter * self.load + self.per_row * rows
+
+
+class RemoteEndpointSimulator(LocalEndpoint):
+    """A remote SPARQL endpoint: local engine + simulated network/load.
+
+    ``sleep=True`` really sleeps the sampled latency (for wall-clock
+    benchmarks); the default records it as virtual time only.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: NetworkModel,
+        seed: int = 0,
+        sleep: bool = False,
+    ):
+        super().__init__(graph)
+        self.model = model
+        self.sleep = sleep
+        self._rng = random.Random(seed)
+
+    def query(self, text: str):
+        started = time.perf_counter()
+        result = sparql_query(self.graph, text)
+        engine = time.perf_counter() - started
+        rows = len(result) if isinstance(result, SelectResult) else 0
+        network = self.model.sample(self._rng, rows)
+        if self.sleep:
+            time.sleep(network)
+        self.history.append(QueryStats(engine, network, rows))
+        return result

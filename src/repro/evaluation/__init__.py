@@ -1,0 +1,27 @@
+"""The task-based evaluation (Chapter 8): tasks + user-cohort simulation.
+
+* :mod:`repro.evaluation.tasks` — the eight evaluation tasks, each a
+  runnable script over a :class:`FacetedAnalyticsSession`; running them
+  against the real system is the *implementability* test of §8.2.
+* :mod:`repro.evaluation.study` — a seeded stochastic cohort model that
+  regenerates the *shape* of the user study of §8.1 (Figs 8.1/8.2):
+  per-task completion percentage and 1–5 rating for two cohorts (with /
+  without an IT background).  See DESIGN.md, *Substitutions*.
+"""
+
+from repro.evaluation.tasks import EVALUATION_TASKS, Task
+from repro.evaluation.study import (
+    CohortConfig,
+    StudyResult,
+    TaskOutcome,
+    run_user_study,
+)
+
+__all__ = [
+    "Task",
+    "EVALUATION_TASKS",
+    "CohortConfig",
+    "StudyResult",
+    "TaskOutcome",
+    "run_user_study",
+]

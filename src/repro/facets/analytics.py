@@ -1,0 +1,501 @@
+"""The analytics extension of faceted search (§5.1, §5.2.2, §5.3.3).
+
+:class:`FacetedAnalyticsSession` extends :class:`FacetedSession` with the
+GUI actions of Fig. 5.1 (right):
+
+* **G button** (:meth:`group_by`) — group the analytic results by a
+  facet or property path; clicking several facets builds a pairing;
+* **Σ button** (:meth:`measure`) — choose the measured facet and the
+  aggregate function(s) (avg, sum, max, ...);
+* **filter button** — value ranges, inherited from the base session
+  (:meth:`FacetedSession.select_range`);
+* **transformation button** (:meth:`derive`) — apply a derived-attribute
+  function (e.g. YEAR of a date facet) before grouping, per the
+  *Special cases* paragraph of §5.1;
+* **Answer Frame** (:class:`AnswerFrame`) — the tabular result of
+  :meth:`run`, which can be *loaded as a new dataset*
+  (:meth:`AnswerFrame.explore`, §5.3.3): each answer row becomes a fresh
+  resource with one triple per column, and a new analytics session opens
+  over it — subsequent restrictions are HAVING clauses over the original
+  data, giving nested analytic queries of unlimited depth.
+
+Execution follows Table 5.1: the current extension is materialized under
+a temporary class ``temp``, the HIFUN query synthesized from the button
+state is translated to SPARQL rooted at ``temp``, and the query is
+evaluated (locally or against a simulated endpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import Namespace, RDF
+from repro.rdf.terms import IRI, Literal, Term
+from repro.hifun.attributes import (
+    Attribute,
+    AttributeExpr,
+    Derived,
+    compose_path,
+    pair,
+)
+from repro.hifun.evaluator import evaluate_hifun
+from repro.hifun.query import HifunQuery
+from repro.hifun.translator import Translation, translate
+from repro.facets.model import PropertyRef
+from repro.facets.session import FacetedSession
+from repro.sparql import query as sparql_query
+
+#: Namespace of machinery terms (the temporary class of Table 5.1 and the
+#: answer-frame vocabulary of §5.3.3).
+APP = Namespace("http://www.ics.forth.gr/rdf-analytics#")
+
+#: The temporary class under which the current extension is materialized.
+TEMP_CLASS = APP.temp
+
+
+class AnalyticsStateError(RuntimeError):
+    """Raised when `run` is called with an incomplete button state."""
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One G-button selection: a path, optionally wrapped by a derived
+    function (YEAR, MONTH, ...)."""
+
+    path: Tuple[PropertyRef, ...]
+    derived: Optional[str] = None
+
+    def to_attribute(self) -> AttributeExpr:
+        expr = _path_to_attribute(self.path)
+        if self.derived:
+            expr = Derived(self.derived, expr)
+        return expr
+
+    @property
+    def label(self) -> str:
+        base = " ▷ ".join(step.name for step in self.path)
+        return f"{self.derived.lower()}({base})" if self.derived else base
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """The Σ-button selection: measured path plus aggregate operations."""
+
+    path: Optional[Tuple[PropertyRef, ...]]
+    operations: Tuple[str, ...]
+    derived: Optional[str] = None
+
+    def to_attribute(self) -> Optional[AttributeExpr]:
+        if self.path is None:
+            return None
+        expr = _path_to_attribute(self.path)
+        if self.derived:
+            expr = Derived(self.derived, expr)
+        return expr
+
+
+def _path_to_attribute(path: Tuple[PropertyRef, ...]) -> AttributeExpr:
+    attrs = [Attribute(step.prop, step.inverse) for step in path]
+    if len(attrs) == 1:
+        return attrs[0]
+    return compose_path(*attrs)
+
+
+class AnswerFrame:
+    """The Answer Frame of Fig. 5.1: columns, rows and reload support."""
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Sequence[Tuple[Optional[Term], ...]],
+        query: HifunQuery,
+        translation: Optional[Translation] = None,
+    ):
+        self.columns = tuple(columns)
+        self.rows = [tuple(row) for row in rows]
+        self.query = query
+        self.translation = translation
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[Optional[Term]]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_graph(self) -> Graph:
+        """Load the answer as a new RDF dataset (§5.3.3).
+
+        Each tuple gets a fresh identifier ``t_i`` and produces the k
+        triples ``(t_i, A_j, t_ij)``; every ``t_i`` is typed under
+        ``APP.AnswerRow`` so the new dataset is immediately facetable.
+        """
+        graph = Graph()
+        column_props = [APP.term(_safe(name)) for name in self.columns]
+        for prop, name in zip(column_props, self.columns):
+            graph.add(prop, RDF.type, RDF.Property)
+        for index, row in enumerate(self.rows, start=1):
+            subject = APP.term(f"t{index}")
+            graph.add(subject, RDF.type, APP.AnswerRow)
+            for prop, value in zip(column_props, row):
+                if value is not None:
+                    graph.add(subject, prop, value)
+        return graph
+
+    def explore(self) -> "FacetedAnalyticsSession":
+        """*Explore with FS* (Fig. 5.2): a new analytics session over the
+        answer loaded as a dataset — restrictions there are HAVING
+        clauses over the original data."""
+        return FacetedAnalyticsSession(self.to_graph())
+
+    def column_property(self, name: str) -> IRI:
+        """The property under which a column is loaded by :meth:`to_graph`."""
+        return APP.term(_safe(name))
+
+    # -- the "Extra Columns" actions of §5.1 ----------------------------
+    def select_columns(self, columns: Sequence[str]) -> "AnswerFrame":
+        """Display-level projection: keep only the named columns."""
+        indexes = [self.columns.index(name) for name in columns]
+        rows = [tuple(row[i] for i in indexes) for row in self.rows]
+        return AnswerFrame(columns, rows, self.query, self.translation)
+
+    def drop_grouping_column(self, name: str) -> "AnswerFrame":
+        """Remove a grouping attribute and *re-aggregate* the answer.
+
+        The §5.1 "Extra Columns" remove action: dropping a grouping
+        column coarsens the groups, so the aggregate columns are merged
+        — SUM/COUNT add up, MIN/MAX take extrema, and AVG is recomputed
+        from SUM and COUNT when both are present (otherwise it raises,
+        since an average of averages would be wrong).
+        """
+        if self.translation is None:
+            raise ValueError("re-aggregation needs the query translation")
+        group_aliases = list(self.translation.group_aliases)
+        if name not in group_aliases:
+            raise ValueError(f"{name!r} is not a grouping column")
+        operations = [op for op, _ in self.translation.aggregate_aliases]
+        if "AVG" in operations and not (
+            "SUM" in operations and "COUNT" in operations
+        ):
+            if self.translation.count_alias is None or "SUM" not in operations:
+                raise ValueError(
+                    "cannot re-aggregate AVG without SUM and COUNT columns"
+                )
+        drop_index = self.columns.index(name)
+        kept_group_indexes = [
+            self.columns.index(alias)
+            for alias in group_aliases
+            if alias != name
+        ]
+        agg_info = [
+            (op, self.columns.index(alias))
+            for op, alias in self.translation.aggregate_aliases
+        ]
+        count_index = (
+            self.columns.index(self.translation.count_alias)
+            if self.translation.count_alias
+            else None
+        )
+        buckets: Dict[tuple, list] = {}
+        for row in self.rows:
+            key = tuple(row[i] for i in kept_group_indexes)
+            buckets.setdefault(key, []).append(row)
+        from repro.sparql.functions import wrap_number
+
+        def merge(op: str, values):
+            numbers = [v.to_python() for v in values if v is not None]
+            if not numbers:
+                return None
+            if op in ("SUM", "COUNT"):
+                total = sum(numbers)
+                return wrap_number(
+                    total if all(isinstance(n, int) for n in numbers)
+                    else float(total)
+                )
+            if op == "MIN":
+                return wrap_number(min(numbers, key=float))
+            if op == "MAX":
+                return wrap_number(max(numbers, key=float))
+            return None  # AVG handled below
+
+        new_columns = [self.columns[i] for i in kept_group_indexes]
+        new_columns += [alias for _, alias in self.translation.aggregate_aliases]
+        if self.translation.count_alias:
+            new_columns.append(self.translation.count_alias)
+        new_rows = []
+        for key, members in sorted(
+            buckets.items(), key=lambda kv: _row_sort_key(kv[0])
+        ):
+            merged = list(key)
+            agg_values: Dict[str, Optional[Term]] = {}
+            for op, index in agg_info:
+                agg_values[op] = merge(op, [m[index] for m in members])
+            count_value = None
+            if count_index is not None:
+                count_value = merge("COUNT", [m[count_index] for m in members])
+            if "AVG" in agg_values and agg_values.get("AVG") is None:
+                total = agg_values.get("SUM")
+                count = (
+                    agg_values.get("COUNT")
+                    if "COUNT" in agg_values
+                    else count_value
+                )
+                if total is not None and count is not None and float(
+                    count.to_python()
+                ):
+                    from repro.sparql.functions import wrap_number as _wrap
+
+                    agg_values["AVG"] = _wrap(
+                        float(total.to_python()) / float(count.to_python())
+                    )
+            merged += [agg_values[op] for op, _ in agg_info]
+            if count_index is not None:
+                merged.append(count_value)
+            new_rows.append(tuple(merged))
+        return AnswerFrame(new_columns, new_rows, self.query, None)
+
+    def __repr__(self):
+        return f"<AnswerFrame {len(self.rows)}×{len(self.columns)} {list(self.columns)}>"
+
+
+def _safe(name: str) -> str:
+    return "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+
+
+class FacetedAnalyticsSession(FacetedSession):
+    """Faceted search extended with the analytic actions of §5.1."""
+
+    def __init__(self, graph: Graph, results: Optional[Iterable[Term]] = None,
+                 closed: bool = False):
+        super().__init__(graph, results=results, closed=closed)
+        self._groups: List[GroupSpec] = []
+        self._measure: Optional[MeasureSpec] = None
+        self._with_count = False
+
+    # ------------------------------------------------------------------
+    # Button state
+    # ------------------------------------------------------------------
+    def group_by(self, path, derived: Optional[str] = None) -> GroupSpec:
+        """Press the G button on a facet (or expanded path).
+
+        Pressing G on several facets accumulates grouping attributes
+        (a pairing); pressing it again on the same path removes it —
+        exactly the toggle behaviour described under *States of G and Σ
+        buttons* in §5.1.
+        """
+        spec = GroupSpec(self._normalize_path(path), derived)
+        for existing in self._groups:
+            if existing == spec:
+                self._groups.remove(existing)
+                return spec
+        self._groups.append(spec)
+        return spec
+
+    def measure(self, path, operations: Union[str, Sequence[str]] = "COUNT",
+                derived: Optional[str] = None) -> MeasureSpec:
+        """Press the Σ button on a facet and pick aggregate function(s)."""
+        if isinstance(operations, str):
+            operations = (operations,)
+        normalized = self._normalize_path(path) if path is not None else None
+        self._measure = MeasureSpec(normalized, tuple(op.upper() for op in operations), derived)
+        return self._measure
+
+    def count_items(self) -> None:
+        """Σ choice "count of items": measure the identity function."""
+        self._measure = MeasureSpec(None, ("COUNT",))
+
+    def derive(self, path, function: str) -> GroupSpec:
+        """The transformation button: group by a derived attribute
+        (e.g. ``derive(EX.releaseDate, "YEAR")``)."""
+        return self.group_by(path, derived=function.upper())
+
+    def with_count(self, enabled: bool = True) -> None:
+        """Also report group cardinalities (count information)."""
+        self._with_count = enabled
+
+    def clear_analytics(self) -> None:
+        self._groups = []
+        self._measure = None
+        self._with_count = False
+
+    # ------------------------------------------------------------------
+    # The transformation button (⚙) of §5.1 "Special cases"
+    # ------------------------------------------------------------------
+    def apply_transformation(self, operator) -> list:
+        """Apply a Feature Creation Operator to the current extension.
+
+        The §5.1 *Special cases* button: when a facet is multi-valued or
+        has missing values (violating the HIFUN prerequisites), the user
+        applies a transformation — an FCO of Table 4.1 — and the derived
+        feature becomes an ordinary, functional facet of the session,
+        usable for filtering, grouping and measuring.
+
+        Returns the list of :class:`PropertyRef` facets created — one for
+        most operators, one per observed value for FCO4
+        (``p.values.AsFeatures``).
+        """
+        from repro.hifun.features import apply_feature
+        from repro.facets.model import PropertyRef
+
+        derived = apply_feature(self.graph, self.extension, operator)
+        predicates = sorted(derived.all_predicates(), key=lambda t: t.sort_key())
+        self.graph.add_all(derived.triples())
+        return [PropertyRef(p) for p in predicates]
+
+    @property
+    def group_specs(self) -> List[GroupSpec]:
+        return list(self._groups)
+
+    @property
+    def measure_spec(self) -> Optional[MeasureSpec]:
+        return self._measure
+
+    # ------------------------------------------------------------------
+    # HIFUN synthesis and execution
+    # ------------------------------------------------------------------
+    def hifun_query(self) -> HifunQuery:
+        """The HIFUN query corresponding to the current button state
+        (§5.2.2: how G/Σ clicks change the intention)."""
+        if self._measure is None:
+            raise AnalyticsStateError(
+                "no measure selected — press the Σ button on a facet first"
+            )
+        grouping: Optional[AttributeExpr]
+        if self._groups:
+            grouping = pair(*[g.to_attribute() for g in self._groups])
+        else:
+            grouping = None
+        return HifunQuery(
+            grouping=grouping,
+            measuring=self._measure.to_attribute(),
+            operation=self._measure.operations,
+            with_count=self._with_count,
+        )
+
+    def translation(self) -> Translation:
+        """The SPARQL translation of the current analytic query, rooted
+        at the temporary extension class (Table 5.1)."""
+        return translate(self.hifun_query(), root_class=TEMP_CLASS)
+
+    def hifun_query_with_restrictions(self):
+        """The state intention folded into the HIFUN query (§5.5).
+
+        Instead of materializing the extension under ``temp``, the
+        state's conditions become HIFUN grouping restrictions — the
+        query then runs self-contained against the original graph
+        (Example 1–4 of §5.1 are written in exactly this form).
+
+        Returns ``(query, root_class)``.  Raises
+        :class:`AnalyticsStateError` when a condition has no HIFUN
+        restriction form (multi-value clicks, seeded sessions, extra
+        class conditions) — callers then fall back to the temp-class
+        evaluation.
+        """
+        from repro.hifun.query import Restriction
+        from repro.facets.intentions import (
+            ClassCondition,
+            PathRangeCondition,
+            PathValueCondition,
+        )
+
+        intention = self.state.intention
+        if intention.seeds is not None:
+            raise AnalyticsStateError(
+                "a seeded session's intention is not expressible as "
+                "HIFUN restrictions"
+            )
+        if intention.pivot is not None:
+            raise AnalyticsStateError(
+                "a pivoted (entity-switched) state's intention is not "
+                "expressible as HIFUN restrictions; use the temp-class "
+                "evaluation (engine='sparql')"
+            )
+        restrictions = []
+        for condition in intention.conditions:
+            if isinstance(condition, PathValueCondition):
+                restrictions.append(
+                    Restriction(
+                        _path_to_attribute(condition.path), "=", condition.value
+                    )
+                )
+            elif isinstance(condition, PathRangeCondition):
+                restrictions.append(
+                    Restriction(
+                        _path_to_attribute(condition.path),
+                        condition.comparator,
+                        condition.value,
+                    )
+                )
+            elif isinstance(condition, ClassCondition):
+                raise AnalyticsStateError(
+                    "secondary class conditions are not expressible as "
+                    "HIFUN restrictions"
+                )
+            else:
+                raise AnalyticsStateError(
+                    f"condition {condition!r} has no HIFUN restriction form"
+                )
+        base = self.hifun_query()
+        return base.restricted(grouping=restrictions), intention.root_class
+
+    def run(self, engine: str = "sparql") -> AnswerFrame:
+        """Execute the analytic query over the current state's extension.
+
+        ``engine``:
+
+        * ``"sparql"`` — translate + evaluate with the extension under
+          the ``temp`` class (Table 5.1; the default pipeline);
+        * ``"native"`` — the reference three-step HIFUN evaluator;
+        * ``"restrictions"`` — fold the intention into HIFUN
+          restrictions (§5.5) and run the self-contained translation.
+        """
+        if engine == "restrictions":
+            restricted, root_class = self.hifun_query_with_restrictions()
+            translation = translate(restricted, root_class=root_class)
+            result = sparql_query(self.graph, translation.text)
+            columns = translation.answer_columns
+            rows = [tuple(row.get(c) for c in columns) for row in result]
+            rows.sort(key=_row_sort_key)
+            return AnswerFrame(columns, rows, restricted, translation)
+        query = self.hifun_query()
+        if engine == "native":
+            answer = evaluate_hifun(self.graph, query, items=self.extension)
+            columns = [g.label for g in self._groups]
+            columns += [
+                f"{op.lower()}"
+                + (f"_{self._measure.path[-1].name}" if self._measure.path else "_items")
+                for op in self._measure.operations
+            ]
+            if self._with_count:
+                columns.append("count_items")
+            return AnswerFrame(columns, answer.rows(), query, None)
+        if engine != "sparql":
+            raise ValueError(f"unknown engine {engine!r}")
+        translation = translate(query, root_class=TEMP_CLASS)
+        added = [
+            (item, RDF.type, TEMP_CLASS)
+            for item in self.extension
+            if (item, RDF.type, TEMP_CLASS) not in self.graph
+        ]
+        for triple in added:
+            self.graph.add(*triple)
+        try:
+            result = sparql_query(self.graph, translation.text)
+        finally:
+            for triple in added:
+                self.graph.remove(*triple)
+        columns = translation.answer_columns
+        rows = [tuple(row.get(c) for c in columns) for row in result]
+        rows.sort(key=_row_sort_key)
+        return AnswerFrame(columns, rows, query, translation)
+
+
+def _row_sort_key(row: Tuple[Optional[Term], ...]):
+    return tuple(
+        term.sort_key() if term is not None else (-1,) for term in row
+    )

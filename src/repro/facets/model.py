@@ -1,0 +1,218 @@
+"""The core faceted-search model over RDF (§5.2.1, §5.3).
+
+Implements the formal machinery:
+
+* :func:`restrict` / :func:`joins` — the ``Restrict(E, p:v)``,
+  ``Restrict(E, p:vset)``, ``Restrict(E, c)`` and ``Joins(E, p)``
+  operations of §5.3.1, with inverse-property support (``p⁻¹``);
+* :class:`State` — an interaction state with *extension* (set of
+  resources) and *intention* (query);
+* transition markers — :class:`ClassMarker` (Fig. 5.4 a/b),
+  :class:`PropertyFacet` with :class:`ValueMarker` rows (Fig. 5.4 c/d)
+  and path-expanded marker columns (Fig. 5.5), all carrying count
+  information so the UI never offers an empty result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import IRI, Literal, Term
+from repro.facets.intentions import Intention
+
+
+@dataclass(frozen=True)
+class PropertyRef:
+    """A property usable in a transition, optionally inverted (``p⁻¹``)."""
+
+    prop: IRI
+    inverse: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.prop.local_name() + ("⁻¹" if self.inverse else "")
+
+    def __str__(self):
+        return self.name
+
+
+#: A property path: a tuple of PropertyRef steps.
+Path = Tuple[PropertyRef, ...]
+
+
+# ---------------------------------------------------------------------------
+# §5.3.1 operations
+# ---------------------------------------------------------------------------
+def restrict(graph: Graph, extension: Iterable[Term], p: PropertyRef,
+             values) -> Set[Term]:
+    """``Restrict(E, p : v)`` / ``Restrict(E, p : vset)``.
+
+    Keeps the elements of ``extension`` having a ``p`` edge to ``values``
+    (a single Term or an iterable of Terms).
+    """
+    if isinstance(values, Term):
+        values = {values}
+    else:
+        values = set(values)
+    out: Set[Term] = set()
+    for e in extension:
+        targets = _edge_targets(graph, e, p)
+        if targets & values:
+            out.add(e)
+    return out
+
+
+def restrict_to_class(graph: Graph, extension: Iterable[Term], cls: IRI) -> Set[Term]:
+    """``Restrict(E, c)`` — the elements of E that are instances of c."""
+    instances = set(graph.subjects(RDF.type, cls))
+    return set(extension) & instances
+
+
+def joins(graph: Graph, extension: Iterable[Term], p: PropertyRef) -> Set[Term]:
+    """``Joins(E, p)`` — the values linked to E's elements through p."""
+    out: Set[Term] = set()
+    for e in extension:
+        out |= _edge_targets(graph, e, p)
+    return out
+
+
+def _edge_targets(graph: Graph, node: Term, p: PropertyRef) -> Set[Term]:
+    if p.inverse:
+        if isinstance(node, Literal):
+            return set()
+        return set(graph.subjects(p.prop, node))
+    if isinstance(node, Literal):
+        return set()
+    return set(graph.objects(node, p.prop))
+
+
+def path_joins(graph: Graph, extension: Iterable[Term], path: Path) -> List[Set[Term]]:
+    """The marker sets ``M_1 .. M_k`` along a path (§5.3.2, Path Expansion).
+
+    ``M_0 = extension`` is not included; element ``i`` of the result is
+    ``M_{i+1} = Joins(M_i, p_{i+1})``.
+    """
+    markers: List[Set[Term]] = []
+    frontier: Set[Term] = set(extension)
+    for step in path:
+        frontier = joins(graph, frontier, step)
+        markers.append(frontier)
+    return markers
+
+
+def restrict_by_path(graph: Graph, extension: Iterable[Term], path: Path,
+                     values) -> Set[Term]:
+    """Eq. 5.1: select value(s) at the end of a path and propagate the
+    restriction back to the extension (``M'_k .. M'_0``)."""
+    if isinstance(values, Term):
+        values = {values}
+    else:
+        values = set(values)
+    marker_sets = path_joins(graph, extension, path)
+    restricted: Set[Term] = marker_sets[-1] & values  # M'_k
+    for i in range(len(path) - 2, -1, -1):
+        restricted = restrict(graph, marker_sets[i], path[i + 1], restricted)
+    return restrict(graph, set(extension), path[0], restricted)
+
+
+# ---------------------------------------------------------------------------
+# Transition markers
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ValueMarker:
+    """One clickable value of a facet, with its count.
+
+    ``count`` is ``|Restrict(M, p : value)|`` over the marker set M that
+    precedes this path position — never zero, so a click never empties
+    the result set.
+    """
+
+    value: Term
+    count: int
+
+    @property
+    def label(self) -> str:
+        if isinstance(self.value, IRI):
+            return self.value.local_name()
+        return str(self.value)
+
+    def __str__(self):
+        return f"{self.label} ({self.count})"
+
+
+@dataclass(frozen=True)
+class ClassMarker:
+    """A class-based transition marker (Fig. 5.4 a/b), hierarchical."""
+
+    cls: IRI
+    count: int
+    children: Tuple["ClassMarker", ...] = ()
+
+    @property
+    def label(self) -> str:
+        return self.cls.local_name()
+
+    def __str__(self):
+        return f"{self.label} ({self.count})"
+
+    def flatten(self) -> List["ClassMarker"]:
+        out = [self]
+        for child in self.children:
+            out.extend(child.flatten())
+        return out
+
+
+@dataclass(frozen=True)
+class PropertyFacet:
+    """A property facet: ``by <property> (n)`` with its value markers.
+
+    ``path`` locates the facet: length 1 for a direct facet of the
+    extension, longer after path expansion (Fig. 5.5 b).  ``count`` is
+    the number of extension objects having the (path) property.
+    """
+
+    path: Path
+    count: int
+    values: Tuple[ValueMarker, ...]
+
+    @property
+    def prop(self) -> PropertyRef:
+        return self.path[-1]
+
+    @property
+    def label(self) -> str:
+        return "by " + " ▷ ".join(step.name for step in self.path)
+
+    def __str__(self):
+        return f"{self.label} ({self.count})"
+
+    def value_for(self, term: Term) -> Optional[ValueMarker]:
+        for marker in self.values:
+            if marker.value == term:
+                return marker
+        return None
+
+
+# ---------------------------------------------------------------------------
+# States
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class State:
+    """An interaction state: extension + intention (§5.2.1).
+
+    States are immutable; the session builds new states on each
+    transition and keeps the history for *back* navigation.
+    """
+
+    extension: FrozenSet[Term]
+    intention: Intention
+    description: str = "initial"
+
+    def __len__(self) -> int:
+        return len(self.extension)
+
+    def __repr__(self):
+        return f"<State '{self.description}' |Ext|={len(self.extension)}>"

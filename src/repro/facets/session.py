@@ -1,0 +1,372 @@
+"""The interactive faceted-search session (§5.3.2, §5.4).
+
+:class:`FacetedSession` drives the state space:
+
+* :meth:`class_markers` — the hierarchical class facets with counts
+  (Fig. 5.4 a/b; Alg. "Computing the Facets corresponding to Classes");
+* :meth:`property_facets` — the property facets of the current extension
+  with value markers and counts (Fig. 5.4 c; §5.4.4), optionally grouped
+  by value class (Fig. 5.4 d) and hierarchically organized when
+  sub-properties exist;
+* :meth:`expand_path` — path expansion (Fig. 5.5 b): the markers at the
+  end of a property path from the current extension;
+* :meth:`select_class`, :meth:`select_value`, :meth:`select_range` —
+  the click transitions, each producing a new state whose intention is
+  extended accordingly (never yielding an empty extension);
+* :meth:`back` — history navigation;
+* :meth:`objects` — the right-frame content (§5.4.2).
+
+The session works on the RDFS closure of the input graph, so subclass /
+subproperty semantics are honoured (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.rdfs import SchemaView
+from repro.rdf.terms import IRI, Literal, Term
+from repro.facets.intentions import (
+    ClassCondition,
+    Intention,
+    PathRangeCondition,
+    PathValueCondition,
+    PathValueSetCondition,
+)
+from repro.facets.model import (
+    ClassMarker,
+    Path,
+    PropertyFacet,
+    PropertyRef,
+    State,
+    ValueMarker,
+    joins,
+    path_joins,
+    restrict,
+    restrict_by_path,
+    restrict_to_class,
+)
+
+
+class EmptyTransitionError(ValueError):
+    """Raised when a requested transition would empty the extension —
+    the model guarantees the UI never offers such a transition, so
+    hitting this means the caller bypassed the offered markers."""
+
+
+class FacetedSession:
+    """A faceted exploration session over an RDF graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        results: Optional[Iterable[Term]] = None,
+        closed: bool = False,
+    ):
+        """Start a session (the *Startup* of §5.4.1).
+
+        ``results`` starts the session from an external result set (e.g.
+        a keyword query) instead of from scratch.  ``closed`` marks the
+        graph as already RDFS-closed.
+        """
+        self.schema = SchemaView(graph, closed=closed)
+        self.graph = self.schema.graph
+        if results is not None:
+            seeds = frozenset(results)
+            intention = Intention(seeds=tuple(sorted(seeds, key=lambda t: t.sort_key())))
+            initial = State(seeds, intention, "results")
+        else:
+            individuals = frozenset(self._individuals())
+            initial = State(individuals, Intention(), "initial")
+        self._history: List[State] = [initial]
+
+    def _individuals(self) -> Set[Term]:
+        """Every typed subject that is not a class or a property."""
+        out: Set[Term] = set()
+        for subject in self.graph.subjects(RDF.type, None):
+            types = set(self.graph.objects(subject, RDF.type))
+            if RDFS.Class in types or RDF.Property in types:
+                continue
+            out.add(subject)
+        return out
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> State:
+        return self._history[-1]
+
+    @property
+    def extension(self) -> FrozenSet[Term]:
+        return self.state.extension
+
+    def objects(self, limit: Optional[int] = None) -> List[Term]:
+        """The right-frame objects of the current state (§5.4.2)."""
+        items = sorted(self.extension, key=lambda t: t.sort_key())
+        return items[:limit] if limit is not None else items
+
+    def history(self) -> List[State]:
+        return list(self._history)
+
+    def back(self) -> State:
+        """Undo the last transition; stays at the initial state if there."""
+        if len(self._history) > 1:
+            self._history.pop()
+        return self.state
+
+    def _push(self, extension: Set[Term], intention: Intention,
+              description: str) -> State:
+        if not extension:
+            raise EmptyTransitionError(
+                f"transition '{description}' would produce an empty result"
+            )
+        state = State(frozenset(extension), intention, description)
+        self._history.append(state)
+        return state
+
+    # ------------------------------------------------------------------
+    # Class-based transitions (§5.4.3)
+    # ------------------------------------------------------------------
+    def class_markers(self, expanded: bool = False) -> List[ClassMarker]:
+        """Top-level class markers; ``expanded`` unfolds the hierarchy
+        (reflexive-transitive reduction, Fig. 5.4 b)."""
+        extension = self.extension
+
+        def build(cls: IRI, depth: bool) -> Optional[ClassMarker]:
+            members = restrict_to_class(self.graph, extension, cls)
+            if not members:
+                return None
+            children: Tuple[ClassMarker, ...] = ()
+            if depth:
+                kids = []
+                for sub in sorted(
+                    self.schema.subclasses(cls, direct=True),
+                    key=lambda t: t.sort_key(),
+                ):
+                    marker = build(sub, depth)
+                    if marker is not None:
+                        kids.append(marker)
+                children = tuple(kids)
+            return ClassMarker(cls, len(members), children)
+
+        markers = []
+        for cls in self.schema.maximal_classes():
+            marker = build(cls, expanded)
+            if marker is not None:
+                markers.append(marker)
+        return markers
+
+    def select_class(self, cls: IRI) -> State:
+        """Click a class marker: extension becomes ``Restrict(E, c)``."""
+        extension = restrict_to_class(self.graph, self.extension, cls)
+        intention = self.state.intention.with_class(cls)
+        return self._push(extension, intention, f"class {cls.local_name()}")
+
+    # ------------------------------------------------------------------
+    # Property-based transitions (§5.4.4)
+    # ------------------------------------------------------------------
+    _SCHEMA_PROPS = frozenset(
+        {RDF.type, RDFS.subClassOf, RDFS.subPropertyOf, RDFS.domain, RDFS.range}
+    )
+
+    def applicable_properties(self, include_inverse: bool = False) -> List[PropertyRef]:
+        """Properties with at least one value on the current extension."""
+        found: Set[PropertyRef] = set()
+        for e in self.extension:
+            for p in self.graph.predicates(e, None):
+                if p not in self._SCHEMA_PROPS and isinstance(p, IRI):
+                    found.add(PropertyRef(p))
+            if include_inverse and not isinstance(e, Literal):
+                for p in self.graph.predicates(None, e):
+                    if p not in self._SCHEMA_PROPS and isinstance(p, IRI):
+                        found.add(PropertyRef(p, inverse=True))
+        return sorted(found, key=lambda r: (r.prop.sort_key(), r.inverse))
+
+    def property_facets(self, include_inverse: bool = False) -> List[PropertyFacet]:
+        """One facet per applicable property, with value markers+counts."""
+        return [
+            self.facet((ref,))
+            for ref in self.applicable_properties(include_inverse)
+        ]
+
+    def facet(self, path) -> PropertyFacet:
+        """The facet at ``path`` (a PropertyRef, IRI, or tuple thereof).
+
+        Value counts are computed in a single pass over the previous
+        marker set's edges (grouped join) rather than one ``Restrict``
+        per value — the same O(edges) cost regardless of how many
+        distinct values the facet has (DESIGN.md design choice 4).
+        """
+        path = self._normalize_path(path)
+        marker_sets = path_joins(self.graph, self.extension, path)
+        previous = (
+            set(self.extension) if len(path) == 1 else marker_sets[-2]
+        )
+        counters: Dict[Term, int] = {}
+        having_property = 0
+        step = path[-1]
+        for node in previous:
+            if step.inverse:
+                targets = set(self.graph.subjects(step.prop, node)) \
+                    if not isinstance(node, Literal) else set()
+            else:
+                targets = set(self.graph.objects(node, step.prop)) \
+                    if not isinstance(node, Literal) else set()
+            if targets:
+                having_property += 1
+            for value in targets:
+                counters[value] = counters.get(value, 0) + 1
+        values = tuple(
+            ValueMarker(value, counters[value])
+            for value in sorted(counters, key=lambda t: t.sort_key())
+        )
+        return PropertyFacet(path=path, count=having_property, values=values)
+
+    def expand_path(self, path, next_prop) -> PropertyFacet:
+        """Path expansion (Fig. 5.5 b): extend ``path`` with one more
+        property and return the facet at the new end."""
+        path = self._normalize_path(path)
+        step = self._normalize_step(next_prop)
+        return self.facet(path + (step,))
+
+    def group_values_by_class(self, facet: PropertyFacet) -> Dict[Optional[IRI], List[ValueMarker]]:
+        """Group a facet's value markers under their classes (Fig. 5.4 d).
+
+        Values without a type fall under the ``None`` key.  Classes are
+        most-specific (direct types only).
+        """
+        grouped: Dict[Optional[IRI], List[ValueMarker]] = {}
+        for marker in facet.values:
+            types = [
+                t
+                for t in self.graph.objects(marker.value, RDF.type)
+                if isinstance(t, IRI)
+            ] if not isinstance(marker.value, Literal) else []
+            specific = self._most_specific(types)
+            grouped.setdefault(specific, []).append(marker)
+        return grouped
+
+    def _most_specific(self, types: List[IRI]) -> Optional[IRI]:
+        if not types:
+            return None
+        candidates = set(types)
+        for t in types:
+            candidates -= self.schema.superclasses(t)
+        chosen = sorted(candidates, key=lambda t: t.sort_key())
+        return chosen[0] if chosen else None
+
+    def property_hierarchy(self) -> Dict[PropertyRef, List[PropertyRef]]:
+        """Applicable properties organized by the sub-property reduction."""
+        refs = self.applicable_properties()
+        by_iri = {ref.prop: ref for ref in refs}
+        tree: Dict[PropertyRef, List[PropertyRef]] = {}
+        for ref in refs:
+            parents = self.schema.superproperties(ref.prop, direct=True)
+            applicable_parents = [p for p in parents if p in by_iri]
+            if not applicable_parents:
+                tree.setdefault(ref, [])
+            else:
+                for parent in applicable_parents:
+                    tree.setdefault(by_iri[parent], []).append(ref)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Click transitions
+    # ------------------------------------------------------------------
+    def select_value(self, path, value: Term) -> State:
+        """Click a value marker at the end of ``path`` (Eq. 5.1)."""
+        path = self._normalize_path(path)
+        extension = restrict_by_path(self.graph, self.extension, path, value)
+        intention = self.state.intention.with_condition(
+            PathValueCondition(path, value)
+        )
+        label = value.local_name() if isinstance(value, IRI) else str(value)
+        description = f"{'/'.join(s.name for s in path)} = {label}"
+        return self._push(extension, intention, description)
+
+    def select_values(self, path, values: Iterable[Term]) -> State:
+        """Click several values of the same facet (disjunctive selection)."""
+        path = self._normalize_path(path)
+        values = set(values)
+        extension: Set[Term] = set()
+        for value in values:
+            extension |= restrict_by_path(self.graph, self.extension, path, value)
+        intention = self.state.intention.with_condition(
+            PathValueSetCondition(path, tuple(sorted(values, key=lambda t: t.sort_key())))
+        )
+        description = f"{'/'.join(s.name for s in path)} in {{{len(values)} values}}"
+        return self._push(extension, intention, description)
+
+    def select_range(self, path, comparator: str, value: Literal) -> State:
+        """Apply a range filter on a (numeric/date) facet (Example 3)."""
+        path = self._normalize_path(path)
+        marker_sets = path_joins(self.graph, self.extension, path)
+        matching = {
+            v
+            for v in marker_sets[-1]
+            if _literal_passes(v, comparator, value)
+        }
+        extension = (
+            restrict_by_path(self.graph, self.extension, path, matching)
+            if matching
+            else set()
+        )
+        intention = self.state.intention.with_condition(
+            PathRangeCondition(path, comparator, value)
+        )
+        description = f"{'/'.join(s.name for s in path)} {comparator} {value}"
+        return self._push(extension, intention, description)
+
+    def pivot_to(self, path) -> State:
+        """Switch entity type (§5.2.1 differentiator iii): the new
+        extension is ``Joins(E, path)`` — e.g. pivot from the current
+        laptops to *their manufacturers* and keep exploring from there.
+        """
+        path = self._normalize_path(path)
+        extension: Set[Term] = set(self.extension)
+        for step in path:
+            extension = joins(self.graph, extension, step)
+        intention = self.state.intention.with_pivot(path)
+        description = "pivot to " + "/".join(s.name for s in path)
+        return self._push(extension, intention, description)
+
+    def select_interval(self, path, low: Literal, high: Literal) -> State:
+        """Apply a closed interval filter (``low ≤ value ≤ high``)."""
+        self.select_range(path, ">=", low)
+        try:
+            return self.select_range(path, "<=", high)
+        except EmptyTransitionError:
+            self.back()
+            raise
+
+    # ------------------------------------------------------------------
+    def _normalize_path(self, path) -> Path:
+        if isinstance(path, PropertyRef):
+            return (path,)
+        if isinstance(path, IRI):
+            return (PropertyRef(path),)
+        normalized = tuple(self._normalize_step(step) for step in path)
+        if not normalized:
+            raise ValueError("a property path needs at least one step")
+        return normalized
+
+    @staticmethod
+    def _normalize_step(step) -> PropertyRef:
+        if isinstance(step, PropertyRef):
+            return step
+        if isinstance(step, IRI):
+            return PropertyRef(step)
+        raise TypeError(f"cannot use {step!r} as a property path step")
+
+
+def _literal_passes(term: Term, comparator: str, value: Literal) -> bool:
+    from repro.sparql.errors import ExpressionError
+    from repro.sparql.functions import compare
+
+    try:
+        return compare(comparator, term, value)
+    except ExpressionError:
+        return False

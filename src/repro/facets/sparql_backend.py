@@ -1,0 +1,248 @@
+"""The SPARQL-only evaluation approach (Tables 5.1 / 5.2, Fig. 8.3).
+
+The dissertation gives, for every notation of the interaction model, a
+SPARQL expression assuming the current extension is stored in a
+temporary class ``temp``:
+
+=====================  =====================================================
+ notation               SPARQL expression
+=====================  =====================================================
+ ``inst(c)``            ``SELECT ?x WHERE { ?x rdf:type <c> }``
+ ``E = s.Ext``          ``SELECT ?x WHERE { ?x rdf:type :temp }``
+ ``Joins(E, p)``        ``SELECT DISTINCT ?v WHERE { ?x rdf:type :temp . ?x <p> ?v }``
+ ``Restrict(E, p:v)``   ``SELECT ?x WHERE { ?x rdf:type :temp . ?x <p> <v> }``
+ ``Restrict(E, c)``     ``SELECT ?x WHERE { ?x rdf:type :temp . ?x rdf:type <c> }``
+ counts                 the same patterns under ``COUNT`` / ``GROUP BY``
+=====================  =====================================================
+
+:class:`SparqlFacetEngine` implements exactly that: every model
+operation issues a generated SPARQL query against an endpoint — no
+direct index access.  It exists (a) as the *alternative implementation*
+the dissertation discusses (Fig. 8.3), usable against any remote SPARQL
+endpoint, and (b) as the cross-check that the native engine implements
+the same semantics (the test suite runs both and compares).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import Namespace, RDF
+from repro.rdf.terms import IRI, Literal, Term
+from repro.endpoint import LocalEndpoint
+from repro.facets.model import (
+    ClassMarker,
+    Path,
+    PropertyFacet,
+    PropertyRef,
+    ValueMarker,
+)
+
+APP = Namespace("http://www.ics.forth.gr/rdf-analytics#")
+TEMP = APP.temp
+
+
+class SparqlFacetEngine:
+    """Facet computation by SPARQL queries only (Table 5.2).
+
+    The engine owns an endpoint over the (closed) graph.  The current
+    extension is materialized under the ``temp`` class before each batch
+    of queries and removed afterwards (the dissertation's temporary
+    class device, Table 5.1).
+    """
+
+    def __init__(self, graph: Graph, endpoint: Optional[LocalEndpoint] = None):
+        self.graph = graph
+        self.endpoint = endpoint if endpoint is not None else LocalEndpoint(graph)
+
+    # ------------------------------------------------------------------
+    # The temp-class device
+    # ------------------------------------------------------------------
+    def _materialize(self, extension: Iterable[Term]) -> List[tuple]:
+        added = []
+        for item in extension:
+            if isinstance(item, Literal):
+                continue
+            triple = (item, RDF.type, TEMP)
+            if triple not in self.graph:
+                self.graph.add(*triple)
+                added.append(triple)
+        return added
+
+    def _clear(self, added: List[tuple]) -> None:
+        for triple in added:
+            self.graph.remove(*triple)
+
+    # ------------------------------------------------------------------
+    # Table 5.1 notations as SPARQL text
+    # ------------------------------------------------------------------
+    @staticmethod
+    def q_instances(cls: IRI) -> str:
+        return f"SELECT ?x WHERE {{ ?x {RDF.type.n3()} {cls.n3()} }}"
+
+    @staticmethod
+    def q_extension() -> str:
+        return f"SELECT ?x WHERE {{ ?x {RDF.type.n3()} {TEMP.n3()} }}"
+
+    @staticmethod
+    def _chain(path: Path, start: str = "?x") -> Tuple[str, str]:
+        """Triple patterns walking ``path`` from ``start``; returns
+        (patterns text, final variable)."""
+        lines = []
+        current = start
+        for index, step in enumerate(path):
+            nxt = f"?v{index + 1}"
+            if step.inverse:
+                lines.append(f"{nxt} {step.prop.n3()} {current} .")
+            else:
+                lines.append(f"{current} {step.prop.n3()} {nxt} .")
+            current = nxt
+        return (" ".join(lines), current)
+
+    @classmethod
+    def q_joins(cls, path: Path) -> str:
+        patterns, var = cls._chain(path)
+        return (
+            f"SELECT DISTINCT {var} WHERE "
+            f"{{ ?x {RDF.type.n3()} {TEMP.n3()} . {patterns} }}"
+        )
+
+    @classmethod
+    def q_restrict_value(cls, path: Path, value: Term) -> str:
+        patterns, var = cls._chain(path)
+        return (
+            f"SELECT DISTINCT ?x WHERE "
+            f"{{ ?x {RDF.type.n3()} {TEMP.n3()} . {patterns} "
+            f"FILTER({var} = {value.n3()}) }}"
+        )
+
+    @classmethod
+    def q_restrict_class(cls, klass: IRI) -> str:
+        return (
+            f"SELECT ?x WHERE {{ ?x {RDF.type.n3()} {TEMP.n3()} . "
+            f"?x {RDF.type.n3()} {klass.n3()} }}"
+        )
+
+    @classmethod
+    def q_value_counts(cls, path: Path) -> str:
+        """Values of a facet with their counts, one query (Table 5.2)."""
+        patterns, var = cls._chain(path)
+        return (
+            f"SELECT {var} (COUNT(DISTINCT ?x) AS ?count) WHERE "
+            f"{{ ?x {RDF.type.n3()} {TEMP.n3()} . {patterns} }} "
+            f"GROUP BY {var}"
+        )
+
+    @classmethod
+    def q_class_counts(cls) -> str:
+        return (
+            f"SELECT ?cls (COUNT(?x) AS ?count) WHERE "
+            f"{{ ?x {RDF.type.n3()} {TEMP.n3()} . ?x {RDF.type.n3()} ?cls }} "
+            f"GROUP BY ?cls"
+        )
+
+    @classmethod
+    def q_properties(cls) -> str:
+        return (
+            f"SELECT DISTINCT ?p WHERE "
+            f"{{ ?x {RDF.type.n3()} {TEMP.n3()} . ?x ?p ?o }}"
+        )
+
+    # ------------------------------------------------------------------
+    # Model operations, evaluated purely through SPARQL
+    # ------------------------------------------------------------------
+    def instances(self, cls: IRI) -> Set[Term]:
+        result = self.endpoint.query(self.q_instances(cls))
+        return {row["x"] for row in result}
+
+    def extension_of_temp(self, extension: Iterable[Term]) -> Set[Term]:
+        added = self._materialize(extension)
+        try:
+            result = self.endpoint.query(self.q_extension())
+            return {row["x"] for row in result}
+        finally:
+            self._clear(added)
+
+    def joins(self, extension: Iterable[Term], path: Path) -> Set[Term]:
+        added = self._materialize(extension)
+        try:
+            result = self.endpoint.query(self.q_joins(path))
+            return {row.get("v" + str(len(path))) for row in result}
+        finally:
+            self._clear(added)
+
+    def restrict(self, extension: Iterable[Term], path: Path, value: Term) -> Set[Term]:
+        added = self._materialize(extension)
+        try:
+            result = self.endpoint.query(self.q_restrict_value(path, value))
+            return {row["x"] for row in result}
+        finally:
+            self._clear(added)
+
+    def restrict_to_class(self, extension: Iterable[Term], cls: IRI) -> Set[Term]:
+        added = self._materialize(extension)
+        try:
+            result = self.endpoint.query(self.q_restrict_class(cls))
+            return {row["x"] for row in result}
+        finally:
+            self._clear(added)
+
+    def class_counts(self, extension: Iterable[Term]) -> Dict[IRI, int]:
+        added = self._materialize(extension)
+        try:
+            result = self.endpoint.query(self.q_class_counts())
+            counts: Dict[IRI, int] = {}
+            for row in result:
+                cls = row["cls"]
+                if cls == TEMP or not isinstance(cls, IRI):
+                    continue
+                counts[cls] = int(row.value("count"))
+            return counts
+        finally:
+            self._clear(added)
+
+    def facet(self, extension: Iterable[Term], path: Path) -> PropertyFacet:
+        """A property facet with counts, via one grouped SPARQL query.
+
+        Note the count semantics: for multi-step paths the native engine
+        counts predecessors at the *previous* path position, while one
+        grouped query can only count extension objects; both coincide
+        for single-step facets (the common case in the UI's left frame).
+        """
+        added = self._materialize(extension)
+        try:
+            result = self.endpoint.query(self.q_value_counts(path))
+            values = []
+            total_query = (
+                f"SELECT (COUNT(DISTINCT ?x) AS ?n) WHERE "
+                f"{{ ?x {RDF.type.n3()} {TEMP.n3()} . "
+                f"{self._chain(path)[0]} }}"
+            )
+            for row in result.sorted_rows():
+                value = row.get("v" + str(len(path)))
+                values.append(ValueMarker(value, int(row.value("count"))))
+            total = self.endpoint.query(total_query)
+            count = int(total[0].value("n")) if len(total) else 0
+            return PropertyFacet(path=tuple(path), count=count, values=tuple(values))
+        finally:
+            self._clear(added)
+
+    def applicable_properties(self, extension: Iterable[Term]) -> List[PropertyRef]:
+        from repro.rdf.namespace import RDFS
+
+        schema = {RDF.type, RDFS.subClassOf, RDFS.subPropertyOf, RDFS.domain,
+                  RDFS.range}
+        added = self._materialize(extension)
+        try:
+            result = self.endpoint.query(self.q_properties())
+            return sorted(
+                (
+                    PropertyRef(row["p"])
+                    for row in result
+                    if isinstance(row["p"], IRI) and row["p"] not in schema
+                ),
+                key=lambda r: r.prop.sort_key(),
+            )
+        finally:
+            self._clear(added)

@@ -1,0 +1,294 @@
+"""HIFUN → SPARQL translation (§4.2, Algorithms 1–4).
+
+The translation follows the dissertation exactly:
+
+* the grouping expression yields triple-pattern chains in the WHERE
+  clause plus variables in SELECT and GROUP BY (Algorithm 1/2);
+* **compositions** become chained triple patterns
+  ``?x1 f1 ?x2 . ?x2 f2 ?x3 ...`` (Algorithm 2 — Composition);
+* **pairings** join their component chains on the shared root variable
+  ``?x1`` (Algorithm 2 — Pairing / PairingOverCompositions);
+* **derived attributes** produce no extra pattern; they wrap the chain's
+  last variable in a SPARQL builtin in SELECT/GROUP BY (Algorithm 3);
+* **restrictions**: a URI restriction becomes an extra triple pattern
+  ``?xi g <uri>`` and a literal restriction a ``FILTER`` (Algorithm 1
+  lines 3–7 and 10–14; Algorithm 4 for path restrictions);
+* **result restrictions** become a ``HAVING`` clause (§4.2.3);
+* the measuring expression yields a chain ending in the measured
+  variable; each aggregate operation is applied to it in SELECT.
+
+:func:`translate` returns a :class:`Translation` carrying the SPARQL
+text plus the variable/alias bookkeeping the faceted UI needs to label
+answer columns.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import IRI, Literal, Term
+from repro.hifun.attributes import (
+    Attribute,
+    AttributeExpr,
+    Composition,
+    Derived,
+    Pairing,
+    paths_of,
+)
+from repro.hifun.query import HifunQuery, Restriction, ResultRestriction
+
+
+@dataclass
+class Translation:
+    """The output of :func:`translate`."""
+
+    text: str
+    #: SELECT/GROUP BY entries for the grouping paths, in order; each is a
+    #: rendered expression over a pattern variable (e.g. ``?x2`` or
+    #: ``MONTH(?x3)``).
+    group_exprs: List[str]
+    #: The alias given to each grouping path in the answer columns.
+    group_aliases: List[str]
+    #: ``(operation, alias)`` for every aggregate column, in order.
+    aggregate_aliases: List[Tuple[str, str]]
+    #: Alias of the count column, if ``with_count`` was requested.
+    count_alias: Optional[str] = None
+
+    @property
+    def answer_columns(self) -> List[str]:
+        columns = list(self.group_aliases)
+        columns.extend(alias for _, alias in self.aggregate_aliases)
+        if self.count_alias:
+            columns.append(self.count_alias)
+        return columns
+
+    def __str__(self):
+        return self.text
+
+
+class _VarAllocator:
+    """Fresh-variable source, ``?x1``, ``?x2``, ... as in the paper."""
+
+    def __init__(self, prefix: str = "x"):
+        self._prefix = prefix
+        self._count = 0
+
+    def new(self) -> str:
+        self._count += 1
+        return f"?{self._prefix}{self._count}"
+
+
+def _sanitize(name: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    cleaned = re.sub(r"_+", "_", cleaned).strip("_")
+    return cleaned or "col"
+
+
+class _TranslationBuilder:
+    def __init__(self, root_var: str, variables: _VarAllocator):
+        self.root_var = root_var
+        self.vars = variables
+        self.patterns: List[str] = []
+        self.filters: List[str] = []
+        #: memo of emitted path chains: path expr -> last variable
+        self._chains: Dict[AttributeExpr, str] = {}
+
+    # -- Algorithm 2 (Composition) / Algorithm 3 (derived) ---------------
+    def chain(self, path: AttributeExpr, reuse: bool = True) -> str:
+        """Emit the triple patterns of a path; return the rendered final
+        expression (a variable, or ``FUNC(?var)`` for derived tails)."""
+        if isinstance(path, Derived):
+            inner = self.chain(path.base, reuse=reuse)
+            return f"{path.function}({inner})"
+        return self._plain_chain(path, reuse)
+
+    def _plain_chain(self, path: AttributeExpr, reuse: bool) -> str:
+        if reuse and path in self._chains:
+            return self._chains[path]
+        steps: Sequence[Attribute]
+        if isinstance(path, Attribute):
+            steps = (path,)
+        elif isinstance(path, Composition):
+            steps = path.parts  # application order
+        else:
+            raise TypeError(f"cannot emit patterns for {path!r}")
+        current = self.root_var
+        for step in steps:
+            if isinstance(step, Derived):
+                raise TypeError("derived attribute must be the path tail")
+            nxt = self.vars.new()
+            if step.inverse:
+                self.patterns.append(f"{nxt} {step.prop.n3()} {current} .")
+            else:
+                self.patterns.append(f"{current} {step.prop.n3()} {nxt} .")
+            current = nxt
+        if reuse:
+            self._chains[path] = current
+        return current
+
+    # -- Algorithm 1 lines 3–7 / Algorithm 4 (restrictions) --------------
+    def restriction(self, r: Restriction, reuse_var: Optional[str]) -> None:
+        """Emit a restriction.  ``reuse_var`` is a variable already bound
+        to the restricted attribute's value (the measuring variable, per
+        the §4.2.2 literal example), or None to emit a fresh chain."""
+        if r.is_uri_equality:
+            # URI restriction → extra triple pattern ending at the URI.
+            self._chain_to_value(r.attribute, r.value)
+            return
+        if reuse_var is not None:
+            target = reuse_var
+        else:
+            target = self.chain(r.attribute, reuse=False)
+        self.filters.append(f"{target} {r.comparator} {_render_term(r.value)}")
+
+    def _chain_to_value(self, path: AttributeExpr, value: Term) -> None:
+        """Emit a chain whose final object is a constant (URI restriction)."""
+        if isinstance(path, Derived):
+            # Derived values are literals; a URI equality over a derived
+            # attribute cannot occur (guarded by Restriction.__post_init__),
+            # but handle it as a filter for robustness.
+            inner = self.chain(path, reuse=False)
+            self.filters.append(f"{inner} = {_render_term(value)}")
+            return
+        steps = path.parts if isinstance(path, Composition) else (path,)
+        current = self.root_var
+        for index, step in enumerate(steps):
+            is_last = index == len(steps) - 1
+            end = _render_term(value) if is_last else self.vars.new()
+            if step.inverse:
+                self.patterns.append(f"{end} {step.prop.n3()} {current} .")
+            else:
+                self.patterns.append(f"{current} {step.prop.n3()} {end} .")
+            current = end
+
+
+def _render_term(term: Term) -> str:
+    return term.n3()
+
+
+def _alias_for(path: AttributeExpr, used: Dict[str, int]) -> str:
+    if isinstance(path, Derived):
+        stem = f"{path.function.lower()}_{_alias_stem(path.base)}"
+    else:
+        stem = _alias_stem(path)
+    count = used.get(stem, 0)
+    used[stem] = count + 1
+    return stem if count == 0 else f"{stem}{count + 1}"
+
+
+def _alias_stem(path: AttributeExpr) -> str:
+    if isinstance(path, Attribute):
+        return _sanitize(path.prop.local_name())
+    if isinstance(path, Composition):
+        return _sanitize("_".join(p.prop.local_name() if isinstance(p, Attribute)
+                                  else str(p) for p in path.parts))
+    if isinstance(path, Derived):
+        return f"{path.function.lower()}_{_alias_stem(path.base)}"
+    return "col"
+
+
+def translate(
+    query: HifunQuery,
+    root_class: Optional[IRI] = None,
+    prefixes: Optional[Dict[str, str]] = None,
+) -> Translation:
+    """Translate a HIFUN query to SPARQL (the full algorithm of §4.2.5).
+
+    ``root_class`` restricts the analysis root ``D`` to the instances of
+    a class (adds ``?x1 rdf:type <class>``), matching the analysis-context
+    selection of §4.1.2.
+    """
+    variables = _VarAllocator()
+    root_var = variables.new()  # ?x1
+    builder = _TranslationBuilder(root_var, variables)
+
+    if root_class is not None:
+        builder.patterns.append(f"{root_var} {RDF.type.n3()} {root_class.n3()} .")
+
+    # 1. Grouping expression (Algorithms 1–3).
+    used_aliases: Dict[str, int] = {}
+    group_exprs: List[str] = []
+    group_aliases: List[str] = []
+    grouping_paths = paths_of(query.grouping) if query.grouping is not None else ()
+    for path in grouping_paths:
+        rendered = builder.chain(path)
+        group_exprs.append(rendered)
+        group_aliases.append(_alias_for(path, used_aliases))
+
+    # 2. Measuring expression.
+    if query.measuring is None:
+        measure_expr = root_var
+        measure_stem = "items"
+    else:
+        measure_expr = builder.chain(query.measuring)
+        measure_stem = _alias_stem(query.measuring)
+
+    # 3. Restrictions (rg then rm; Algorithm 1 and Algorithm 4).
+    for restriction in query.grouping_restrictions:
+        builder.restriction(restriction, reuse_var=None)
+    for restriction in query.measuring_restrictions:
+        reuse = (
+            measure_expr
+            if query.measuring is not None
+            and restriction.attribute == query.measuring
+            else None
+        )
+        builder.restriction(restriction, reuse_var=reuse)
+
+    # 4. SELECT clause: group vars, aggregates, optional count.
+    select_parts: List[str] = []
+    for rendered, alias in zip(group_exprs, group_aliases):
+        if rendered.startswith("?") and rendered[1:] == alias:
+            select_parts.append(rendered)
+        else:
+            select_parts.append(f"({rendered} AS ?{alias})")
+    aggregate_aliases: List[Tuple[str, str]] = []
+    for op in query.operations:
+        alias = _alias_for_agg(op, measure_stem, used_aliases)
+        select_parts.append(f"({op}({measure_expr}) AS ?{alias})")
+        aggregate_aliases.append((op, alias))
+    count_alias: Optional[str] = None
+    if query.with_count:
+        count_alias = _alias_for_agg("COUNT", "items", used_aliases)
+        select_parts.append(f"(COUNT({root_var}) AS ?{count_alias})")
+
+    # 5. Assemble the query text.
+    lines: List[str] = []
+    if prefixes:
+        for name, base in prefixes.items():
+            lines.append(f"PREFIX {name}: <{base}>")
+    lines.append("SELECT " + " ".join(select_parts))
+    lines.append("WHERE {")
+    for pattern in builder.patterns:
+        lines.append(f"  {pattern}")
+    if builder.filters:
+        condition = " && ".join(f"({f})" for f in builder.filters)
+        lines.append(f"  FILTER({condition}) .")
+    lines.append("}")
+    if group_exprs:
+        lines.append("GROUP BY " + " ".join(group_exprs))
+    if query.result_restrictions:
+        constraints = []
+        for rr in query.result_restrictions:
+            constraints.append(
+                f"({rr.operation}({measure_expr}) {rr.comparator} "
+                f"{_render_term(rr.value)})"
+            )
+        lines.append("HAVING " + " ".join(constraints))
+    return Translation(
+        text="\n".join(lines),
+        group_exprs=group_exprs,
+        group_aliases=group_aliases,
+        aggregate_aliases=aggregate_aliases,
+        count_alias=count_alias,
+    )
+
+
+def _alias_for_agg(op: str, stem: str, used: Dict[str, int]) -> str:
+    alias = f"{op.lower()}_{stem}"
+    count = used.get(alias, 0)
+    used[alias] = count + 1
+    return alias if count == 0 else f"{alias}{count + 1}"

@@ -1,0 +1,43 @@
+"""RDF substrate: terms, graphs, RDFS inference and Turtle/N-Triples I/O.
+
+This package is a self-contained, dependency-free implementation of the
+parts of the RDF stack that RDF-Analytics needs:
+
+* :mod:`repro.rdf.terms` — IRIs, blank nodes and typed literals.
+* :mod:`repro.rdf.namespace` — namespace helpers and the RDF/RDFS/XSD/OWL
+  vocabularies.
+* :mod:`repro.rdf.graph` — an in-memory triple store with SPO/POS/OSP
+  indexes and pattern matching.
+* :mod:`repro.rdf.rdfs` — RDFS closure (subClassOf, subPropertyOf, domain,
+  range) and class/property hierarchies.
+* :mod:`repro.rdf.turtle` / :mod:`repro.rdf.ntriples` — parsers and
+  serializers for the Turtle subset used by the bundled datasets.
+"""
+
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    Triple,
+)
+from repro.rdf.namespace import Namespace, OWL, RDF, RDFS, XSD, EX
+from repro.rdf.graph import Graph
+from repro.rdf.rdfs import RDFSClosure, SchemaView
+
+__all__ = [
+    "BNode",
+    "IRI",
+    "Literal",
+    "Term",
+    "Triple",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "OWL",
+    "EX",
+    "Graph",
+    "RDFSClosure",
+    "SchemaView",
+]

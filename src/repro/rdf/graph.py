@@ -1,0 +1,237 @@
+"""An in-memory, indexed RDF triple store.
+
+The store keeps three permutation indexes (SPO, POS, OSP) as nested
+dictionaries of sets, so every triple-pattern shape resolves through at
+most two dictionary lookups.  This is the classic hexastore-lite layout
+used by small triple stores and is the substrate for both the SPARQL
+evaluator and the faceted-search engine.
+
+Pattern matching uses ``None`` as a wildcard::
+
+    g.triples(None, RDF.type, EX.Laptop)   # all laptops
+    g.objects(item, EX.price)              # prices of one item
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, triple
+
+
+class Graph:
+    """A mutable set of RDF triples with SPO/POS/OSP indexes."""
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None):
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._size = 0
+        self._bnode_counter = 0
+        if triples is not None:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, s: Term, p: Term, o: Term) -> bool:
+        """Add a triple; returns ``True`` if it was not already present."""
+        s, p, o = triple(s, p, o)
+        objects = self._spo[s][p]
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        added = 0
+        for s, p, o in triples:
+            if self.add(s, p, o):
+                added += 1
+        return added
+
+    def remove(self, s: Term, p: Term, o: Term) -> bool:
+        """Remove one triple; returns ``True`` if it was present."""
+        objects = self._spo.get(s, {}).get(p)
+        if not objects or o not in objects:
+            return False
+        objects.discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._size -= 1
+        return True
+
+    def new_bnode(self) -> BNode:
+        """Mint a blank node with a label unique within this graph."""
+        self._bnode_counter += 1
+        return BNode(f"b{self._bnode_counter}")
+
+    # ------------------------------------------------------------------
+    # Pattern matching
+    # ------------------------------------------------------------------
+    def triples(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate all triples matching the pattern (``None`` = wildcard)."""
+        if s is not None:
+            po = self._spo.get(s)
+            if po is None:
+                return
+            if p is not None:
+                objects = po.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                    return
+                for obj in objects:
+                    yield (s, p, obj)
+                return
+            for pred, objects in po.items():
+                if o is not None:
+                    if o in objects:
+                        yield (s, pred, o)
+                else:
+                    for obj in objects:
+                        yield (s, pred, obj)
+            return
+        if p is not None:
+            os_ = self._pos.get(p)
+            if os_ is None:
+                return
+            if o is not None:
+                for subj in os_.get(o, ()):
+                    yield (subj, p, o)
+                return
+            for obj, subjects in os_.items():
+                for subj in subjects:
+                    yield (subj, p, obj)
+            return
+        if o is not None:
+            sp = self._osp.get(o)
+            if sp is None:
+                return
+            for subj, preds in sp.items():
+                for pred in preds:
+                    yield (subj, pred, o)
+            return
+        for subj, po in self._spo.items():
+            for pred, objects in po.items():
+                for obj in objects:
+                    yield (subj, pred, obj)
+
+    def __contains__(self, t: Triple) -> bool:
+        s, p, o = t
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def count(self, s=None, p=None, o=None) -> int:
+        """Number of triples matching the pattern, without materializing."""
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None and s is None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        return sum(1 for _ in self.triples(s, p, o))
+
+    # ------------------------------------------------------------------
+    # Single-slot accessors
+    # ------------------------------------------------------------------
+    def subjects(self, p=None, o=None) -> Iterator[Term]:
+        seen = set()
+        for s, _, _ in self.triples(None, p, o):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def predicates(self, s=None, o=None) -> Iterator[Term]:
+        seen = set()
+        for _, p, _ in self.triples(s, None, o):
+            if p not in seen:
+                seen.add(p)
+                yield p
+
+    def objects(self, s=None, p=None) -> Iterator[Term]:
+        seen = set()
+        for _, _, o in self.triples(s, p, None):
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def value(self, s=None, p=None, o=None) -> Optional[Term]:
+        """The single term filling the one ``None`` slot, or ``None``."""
+        for t in self.triples(s, p, o):
+            if s is None:
+                return t[0]
+            if p is None:
+                return t[1]
+            return t[2]
+        return None
+
+    # ------------------------------------------------------------------
+    # Whole-graph views
+    # ------------------------------------------------------------------
+    def all_subjects(self) -> Set[Term]:
+        return set(self._spo.keys())
+
+    def all_predicates(self) -> Set[Term]:
+        return set(self._pos.keys())
+
+    def all_objects(self) -> Set[Term]:
+        return set(self._osp.keys())
+
+    def all_terms(self) -> Set[Term]:
+        return self.all_subjects() | self.all_predicates() | self.all_objects()
+
+    def all_resources(self) -> Set[Term]:
+        """All IRIs and blank nodes appearing as subject or object."""
+        nodes = set(self._spo.keys())
+        nodes.update(o for o in self._osp.keys() if isinstance(o, (IRI, BNode)))
+        return nodes
+
+    def all_literals(self) -> Set[Literal]:
+        return {o for o in self._osp.keys() if isinstance(o, Literal)}
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return len(self) == len(other) and all(t in other for t in self)
+
+    def __repr__(self):
+        return f"<Graph with {self._size} triples>"
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        return Graph(self.triples())
+
+    def union(self, other: "Graph") -> "Graph":
+        result = self.copy()
+        result.add_all(other.triples())
+        return result
+
+    def difference(self, other: "Graph") -> "Graph":
+        return Graph(t for t in self if t not in other)
+
+    def filter_subjects(self, subjects: Set[Term]) -> "Graph":
+        """The sub-graph of triples whose subject is in ``subjects``."""
+        return Graph(t for t in self if t[0] in subjects)

@@ -1,0 +1,102 @@
+"""N-Triples parser and serializer.
+
+N-Triples is the line-oriented subset of Turtle: one triple per line,
+absolute IRIs only.  The parser accepts the full N-Triples grammar for
+the term kinds this library models (IRIs, blank nodes, literals with
+datatype or language tag).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, IRI, Literal, Triple, XSD_STRING
+
+
+class NTriplesError(ValueError):
+    """Raised when a line cannot be parsed as an N-Triples statement."""
+
+
+_IRI_RE = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_BNODE_RE = r"_:([A-Za-z0-9_.]+)"
+_LITERAL_RE = r'"((?:[^"\\]|\\.)*)"(?:\^\^<([^<>]*)>|@([A-Za-z0-9-]+))?'
+_TERM_RE = f"(?:{_IRI_RE}|{_BNODE_RE}|{_LITERAL_RE})"
+_LINE_RE = re.compile(
+    rf"^\s*{_TERM_RE}\s+{_TERM_RE}\s+{_TERM_RE}\s*\.\s*(?:#.*)?$"
+)
+
+_UNESCAPES = {
+    "\\\\": "\\",
+    '\\"': '"',
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+}
+_UNESCAPE_RE = re.compile(r'\\[\\"nrt]|\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8}')
+
+
+def _unescape(text: str) -> str:
+    def repl(m: re.Match) -> str:
+        token = m.group(0)
+        if token in _UNESCAPES:
+            return _UNESCAPES[token]
+        return chr(int(token[2:], 16))
+
+    return _UNESCAPE_RE.sub(repl, text)
+
+
+def _term_from_groups(groups, offset):
+    iri, bnode, lex, datatype, lang = groups[offset : offset + 5]
+    if iri is not None:
+        return IRI(iri)
+    if bnode is not None:
+        return BNode(bnode)
+    if lex is None:
+        return None
+    lexical = _unescape(lex)
+    if lang:
+        return Literal(lexical, XSD_STRING, lang)
+    return Literal(lexical, datatype or XSD_STRING)
+
+
+def parse_line(line: str) -> Triple:
+    """Parse one N-Triples statement line into a triple."""
+    match = _LINE_RE.match(line)
+    if match is None:
+        raise NTriplesError(f"not an N-Triples statement: {line!r}")
+    groups = match.groups()
+    s = _term_from_groups(groups, 0)
+    p = _term_from_groups(groups, 5)
+    o = _term_from_groups(groups, 10)
+    if not isinstance(p, IRI):
+        raise NTriplesError(f"predicate must be an IRI: {line!r}")
+    if isinstance(s, Literal):
+        raise NTriplesError(f"subject cannot be a literal: {line!r}")
+    return (s, p, o)
+
+
+def parse(text: str) -> Iterator[Triple]:
+    """Parse an N-Triples document, yielding triples."""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_line(line)
+
+
+def parse_into(text: str, graph: Graph = None) -> Graph:
+    """Parse an N-Triples document into ``graph`` (a new one by default)."""
+    if graph is None:
+        graph = Graph()
+    graph.add_all(parse(text))
+    return graph
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialize triples as canonical (sorted) N-Triples text."""
+    lines = sorted(
+        f"{s.n3()} {p.n3()} {o.n3()} ." for s, p, o in triples
+    )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,269 @@
+"""RDFS inference and schema navigation.
+
+:class:`RDFSClosure` materializes the RDFS entailments the dissertation
+relies on (§2.1, §5.3.1):
+
+* transitivity of ``rdfs:subClassOf`` and ``rdfs:subPropertyOf``;
+* type propagation along ``rdfs:subClassOf``
+  (``x rdf:type C``, ``C ⊑ D``  ⟹  ``x rdf:type D``);
+* triple propagation along ``rdfs:subPropertyOf``
+  (``x p y``, ``p ⊑ q``  ⟹  ``x q y``);
+* domain/range typing (``x p y``, ``domain(p)=C``  ⟹  ``x rdf:type C``).
+
+:class:`SchemaView` exposes the class/property hierarchies the faceted
+interface needs: maximal (top-level) classes and properties, direct
+sub/superclasses via the reflexive-transitive *reduction* (§5.3.2), the
+properties applicable to a set of instances, and instance sets under
+inference.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.terms import IRI, Literal, Term
+
+_TYPE = RDF.type
+_SUBCLASS = RDFS.subClassOf
+_SUBPROP = RDFS.subPropertyOf
+_DOMAIN = RDFS.domain
+_RANGE = RDFS.range
+_CLASS = RDFS.Class
+_PROPERTY = RDF.Property
+
+
+def _transitive_closure(edges: Dict[Term, Set[Term]]) -> Dict[Term, Set[Term]]:
+    """All-pairs reachability, cycle-safe (iterates to a fixpoint)."""
+    closure: Dict[Term, Set[Term]] = {
+        node: set(successors) for node, successors in edges.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for node, reachable in closure.items():
+            additions: Set[Term] = set()
+            for succ in reachable:
+                additions |= closure.get(succ, set())
+            before = len(reachable)
+            reachable |= additions
+            if len(reachable) != before:
+                changed = True
+    return closure
+
+
+class RDFSClosure:
+    """The RDFS closure ``C(K)`` of a graph ``K`` (§5.3.1).
+
+    The closure is computed eagerly at construction; :meth:`graph` returns
+    a new :class:`Graph` containing the asserted plus the inferred triples.
+    """
+
+    def __init__(self, source: Graph):
+        self.source = source
+        self._subclass_of = self._edge_map(_SUBCLASS)
+        self._subprop_of = self._edge_map(_SUBPROP)
+        self.superclasses = _transitive_closure(self._subclass_of)
+        self.superproperties = _transitive_closure(self._subprop_of)
+        self._graph = self._materialize()
+
+    def _edge_map(self, predicate: IRI) -> Dict[Term, Set[Term]]:
+        edges: Dict[Term, Set[Term]] = defaultdict(set)
+        for s, _, o in self.source.triples(None, predicate, None):
+            if s != o:
+                edges[s].add(o)
+        return dict(edges)
+
+    def _materialize(self) -> Graph:
+        g = self.source.copy()
+        # subClassOf / subPropertyOf transitivity
+        for cls, supers in self.superclasses.items():
+            for sup in supers:
+                g.add(cls, _SUBCLASS, sup)
+        for prop, supers in self.superproperties.items():
+            for sup in supers:
+                g.add(prop, _SUBPROP, sup)
+        # subPropertyOf triple propagation (do this before domain/range and
+        # type propagation so inherited statements are typed as well).
+        for prop, supers in self.superproperties.items():
+            if not supers:
+                continue
+            for s, _, o in list(g.triples(None, prop, None)):
+                for sup in supers:
+                    if isinstance(sup, IRI):
+                        g.add(s, sup, o)
+        # domain / range typing
+        for prop, _, cls in list(g.triples(None, _DOMAIN, None)):
+            if not isinstance(prop, IRI):
+                continue
+            for s, _, _o in list(g.triples(None, prop, None)):
+                g.add(s, _TYPE, cls)
+        for prop, _, cls in list(g.triples(None, _RANGE, None)):
+            if not isinstance(prop, IRI):
+                continue
+            for _s, _, o in list(g.triples(None, prop, None)):
+                if not isinstance(o, Literal):
+                    g.add(o, _TYPE, cls)
+        # rdf:type propagation along subClassOf
+        for cls, supers in self.superclasses.items():
+            if not supers:
+                continue
+            for inst in list(g.subjects(_TYPE, cls)):
+                for sup in supers:
+                    g.add(inst, _TYPE, sup)
+        return g
+
+    def graph(self) -> Graph:
+        """The closed graph (asserted plus inferred triples)."""
+        return self._graph
+
+
+class SchemaView:
+    """Schema navigation over a (closed) graph, as needed by faceted search.
+
+    Provides the notation of §5.3.1: the set of classes ``C``, properties
+    ``Pr``, relations ``≤cl`` and ``≤pr``, ``inst(c)`` and ``inst(p)``, the
+    maximal elements, and the reflexive-transitive reduction used to lay
+    out hierarchical facets.
+    """
+
+    def __init__(self, graph: Graph, closed: bool = False):
+        """``graph`` is closed in place if ``closed`` is False."""
+        if closed:
+            self.graph = graph
+        else:
+            self.graph = RDFSClosure(graph).graph()
+
+    # -- classes -------------------------------------------------------
+    def classes(self) -> Set[Term]:
+        """All classes: declared, used in typing, or in subclass axioms."""
+        result: Set[Term] = set(self.graph.subjects(_TYPE, _CLASS))
+        result.update(self.graph.objects(None, _TYPE))
+        result.update(self.graph.subjects(_SUBCLASS, None))
+        result.update(self.graph.objects(None, _SUBCLASS))
+        result.discard(_CLASS)
+        result.discard(_PROPERTY)
+        return {c for c in result if isinstance(c, IRI)}
+
+    def instances(self, cls: Term) -> Set[Term]:
+        """``inst(c)`` under the closure."""
+        return set(self.graph.subjects(_TYPE, cls))
+
+    def subclasses(self, cls: Term, direct: bool = False) -> Set[Term]:
+        subs = set(self.graph.subjects(_SUBCLASS, cls))
+        subs.discard(cls)
+        if direct:
+            subs = self._reduce_down(cls, subs, _SUBCLASS)
+        return subs
+
+    def superclasses(self, cls: Term, direct: bool = False) -> Set[Term]:
+        sups = set(self.graph.objects(cls, _SUBCLASS))
+        sups.discard(cls)
+        if direct:
+            sups = self._reduce_up(cls, sups, _SUBCLASS)
+        return sups
+
+    def maximal_classes(self) -> List[Term]:
+        """Top-level classes: those with no strict superclass (§5.3.2)."""
+        return sorted(
+            (c for c in self.classes() if not self.superclasses(c)),
+            key=lambda t: t.sort_key(),
+        )
+
+    # -- properties ----------------------------------------------------
+    def properties(self) -> Set[Term]:
+        """All properties: declared, used, or in subproperty/domain/range axioms."""
+        result: Set[Term] = set(self.graph.subjects(_TYPE, _PROPERTY))
+        result.update(self.graph.subjects(_SUBPROP, None))
+        result.update(self.graph.objects(None, _SUBPROP))
+        result.update(self.graph.subjects(_DOMAIN, None))
+        result.update(self.graph.subjects(_RANGE, None))
+        schema_preds = {_TYPE, _SUBCLASS, _SUBPROP, _DOMAIN, _RANGE}
+        result.update(
+            p for p in self.graph.all_predicates() if p not in schema_preds
+        )
+        return {p for p in result if isinstance(p, IRI)}
+
+    def property_instances(self, prop: Term) -> Set[tuple]:
+        """``inst(p)`` = the (s, p, o) triples of ``p`` under the closure."""
+        return set(self.graph.triples(None, prop, None))
+
+    def subproperties(self, prop: Term, direct: bool = False) -> Set[Term]:
+        subs = set(self.graph.subjects(_SUBPROP, prop))
+        subs.discard(prop)
+        if direct:
+            subs = self._reduce_down(prop, subs, _SUBPROP)
+        return subs
+
+    def superproperties(self, prop: Term, direct: bool = False) -> Set[Term]:
+        sups = set(self.graph.objects(prop, _SUBPROP))
+        sups.discard(prop)
+        if direct:
+            sups = self._reduce_up(prop, sups, _SUBPROP)
+        return sups
+
+    def maximal_properties(self) -> List[Term]:
+        """Top-level properties: those with no strict superproperty."""
+        return sorted(
+            (p for p in self.properties() if not self.superproperties(p)),
+            key=lambda t: t.sort_key(),
+        )
+
+    def domain(self, prop: Term) -> Optional[Term]:
+        return self.graph.value(prop, _DOMAIN, None)
+
+    def range(self, prop: Term) -> Optional[Term]:
+        return self.graph.value(prop, _RANGE, None)
+
+    def properties_of(self, resources: Iterable[Term]) -> Set[Term]:
+        """The properties for which at least one resource has a value."""
+        result: Set[Term] = set()
+        schema_preds = {_TYPE, _SUBCLASS, _SUBPROP, _DOMAIN, _RANGE}
+        for r in resources:
+            for p in self.graph.predicates(r, None):
+                if p not in schema_preds:
+                    result.add(p)
+        return result
+
+    # -- hierarchy reduction -------------------------------------------
+    def _reduce_down(self, top: Term, subs: Set[Term], pred: IRI) -> Set[Term]:
+        """Direct children: drop any sub that is below another sub."""
+        direct = set(subs)
+        for a in subs:
+            ancestors = set(self.graph.objects(a, pred))
+            ancestors.discard(a)
+            ancestors.discard(top)
+            if ancestors & subs:
+                direct.discard(a)
+        return direct
+
+    def _reduce_up(self, bottom: Term, sups: Set[Term], pred: IRI) -> Set[Term]:
+        """Direct parents: drop any sup that is above another sup."""
+        direct = set(sups)
+        for a in sups:
+            descendants = set(self.graph.subjects(pred, a))
+            descendants.discard(a)
+            descendants.discard(bottom)
+            if descendants & sups:
+                direct.discard(a)
+        return direct
+
+    def class_tree(self, roots: Optional[Iterable[Term]] = None) -> Dict[Term, List[Term]]:
+        """Adjacency of the subclass hierarchy's reflexive-transitive
+        reduction, keyed by parent, children sorted deterministically."""
+        if roots is None:
+            roots = self.maximal_classes()
+        tree: Dict[Term, List[Term]] = {}
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in tree:
+                continue
+            children = sorted(
+                self.subclasses(node, direct=True), key=lambda t: t.sort_key()
+            )
+            tree[node] = children
+            stack.extend(children)
+        return tree

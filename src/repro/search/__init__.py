@@ -1,0 +1,13 @@
+"""Keyword search over RDF graphs (§2.2, §5.4.1 *Starting Points*).
+
+The interaction of Chapter 5 can start "by exploring a set *Results*
+obtained from an external access method, such as a keyword search
+query".  This package provides that access method: a small ranked
+keyword-search engine over the literals, local names and neighbourhood
+text of a graph's resources, whose result set seeds a
+:class:`~repro.facets.session.FacetedSession`.
+"""
+
+from repro.search.keyword import KeywordIndex, SearchHit
+
+__all__ = ["KeywordIndex", "SearchHit"]

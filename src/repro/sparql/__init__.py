@@ -1,0 +1,40 @@
+"""A SPARQL 1.1 engine (practical subset) over :class:`repro.rdf.Graph`.
+
+The engine covers everything the dissertation's queries use — and what
+the HIFUN translator emits:
+
+* ``SELECT`` (with ``DISTINCT``, expression projections, bare aggregates),
+  ``ASK`` and ``CONSTRUCT`` query forms;
+* basic graph patterns with variables in any slot, ``OPTIONAL``, ``UNION``,
+  ``MINUS``, ``BIND``, ``VALUES``, ``FILTER`` and nested sub-``SELECT``;
+* property paths (sequence ``/`` and inverse ``^``);
+* ``GROUP BY`` (variables and expressions), the aggregates ``COUNT``,
+  ``SUM``, ``AVG``, ``MIN``, ``MAX``, ``SAMPLE``, ``GROUP_CONCAT``, and
+  ``HAVING``;
+* ``ORDER BY`` / ``LIMIT`` / ``OFFSET``;
+* the SPARQL builtin functions needed for analytics (``YEAR``, ``MONTH``,
+  ``DAY``, string functions, type tests, casts via XSD constructor IRIs).
+
+Typical use::
+
+    from repro.sparql import query
+    result = query(graph, "SELECT ?m (AVG(?p) AS ?avg) WHERE {...} GROUP BY ?m")
+    for row in result:
+        print(row["m"], row["avg"])
+"""
+
+from repro.sparql.errors import SparqlError, SparqlParseError, SparqlEvalError
+from repro.sparql.parser import parse_query
+from repro.sparql.evaluator import evaluate, query
+from repro.sparql.results import Row, SelectResult
+
+__all__ = [
+    "SparqlError",
+    "SparqlParseError",
+    "SparqlEvalError",
+    "parse_query",
+    "evaluate",
+    "query",
+    "Row",
+    "SelectResult",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy of the SPARQL engine."""
+
+
+class SparqlError(Exception):
+    """Base class for all SPARQL engine errors."""
+
+
+class SparqlParseError(SparqlError):
+    """Raised when query text cannot be parsed; carries the position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        position = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{position}")
+        self.line = line
+        self.column = column
+
+
+class SparqlEvalError(SparqlError):
+    """Raised on evaluation errors that must abort the query.
+
+    Expression errors *inside* ``FILTER`` do not raise — per the SPARQL
+    semantics they make the filter condition effectively false; this
+    exception is for structural problems (unknown aggregate, unbound
+    projection of a required expression, etc.).
+    """
+
+
+class ExpressionError(SparqlError):
+    """Internal: a SPARQL expression evaluated to a type error.
+
+    Caught by FILTER evaluation (condition becomes false) and by
+    projection (the variable stays unbound), mirroring the standard's
+    error propagation rules.
+    """

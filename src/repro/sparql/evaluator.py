@@ -1,0 +1,776 @@
+"""Evaluation of SPARQL ASTs over a :class:`repro.rdf.Graph`.
+
+Solutions are plain dicts mapping variable name → Term.  The evaluator
+follows the SPARQL algebra closely:
+
+* group patterns evaluate left-to-right, joining triple patterns against
+  the current partial solutions (index-backed, most selective first
+  within each basic block);
+* ``OPTIONAL`` is a left-outer join, ``UNION`` a concatenation,
+  ``MINUS`` an anti-join on shared variables, ``FILTER`` is applied to
+  the group it appears in;
+* aggregation partitions solutions by the GROUP BY key, evaluates each
+  aggregate per partition and applies HAVING afterwards;
+* expression errors inside FILTER/HAVING make the condition false; in
+  projections and BIND they leave the variable unbound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, IRI, Literal, Term
+from repro.sparql import ast
+from repro.sparql.errors import ExpressionError, SparqlEvalError
+from repro.sparql.functions import (
+    BUILTINS,
+    aggregate as eval_aggregate,
+    arithmetic,
+    compare,
+    effective_boolean_value,
+    make_boolean,
+    xsd_cast,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.results import Row, SelectResult
+
+Solution = Dict[str, Term]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class _ExprContext:
+    """What an expression may see: the solution, the graph (for EXISTS),
+    and — during aggregation — the precomputed aggregate values and the
+    values of the GROUP BY key expressions for the current group."""
+
+    __slots__ = ("graph", "aggregates", "group_keys")
+
+    def __init__(
+        self,
+        graph: Graph,
+        aggregates: Optional[Dict[ast.Aggregate, Term]] = None,
+        group_keys: Optional[Dict[ast.Expression, Optional[Term]]] = None,
+    ):
+        self.graph = graph
+        self.aggregates = aggregates
+        self.group_keys = group_keys
+
+
+def eval_expression(expr: ast.Expression, solution: Solution, ctx: _ExprContext) -> Term:
+    """Evaluate an expression to a Term; raises ExpressionError on failure."""
+    if ctx.group_keys is not None and not isinstance(expr, ast.Var):
+        try:
+            if expr in ctx.group_keys:
+                value = ctx.group_keys[expr]
+                if value is None:
+                    raise ExpressionError("group key expression errored")
+                return value
+        except TypeError:
+            pass  # unhashable node — fall through to normal evaluation
+    if isinstance(expr, ast.Var):
+        term = solution.get(expr.name)
+        if term is None:
+            raise ExpressionError(f"unbound variable ?{expr.name}")
+        return term
+    if isinstance(expr, ast.TermExpr):
+        return expr.term
+    if isinstance(expr, ast.Aggregate):
+        if ctx.aggregates is None or expr not in ctx.aggregates:
+            raise ExpressionError("aggregate used outside aggregation context")
+        value = ctx.aggregates[expr]
+        if value is None:
+            raise ExpressionError("aggregate produced no value")
+        return value
+    if isinstance(expr, ast.Unary):
+        if expr.op == "!":
+            return make_boolean(
+                not effective_boolean_value(eval_expression(expr.operand, solution, ctx))
+            )
+        operand = eval_expression(expr.operand, solution, ctx)
+        return arithmetic("-" if expr.op == "-" else "+",
+                          _zero(), operand) if expr.op == "-" else operand
+    if isinstance(expr, ast.Binary):
+        return _eval_binary(expr, solution, ctx)
+    if isinstance(expr, ast.FunctionCall):
+        return _eval_function(expr, solution, ctx)
+    if isinstance(expr, ast.InExpr):
+        return _eval_in(expr, solution, ctx)
+    if isinstance(expr, ast.ExistsExpr):
+        solutions = _eval_group(expr.pattern, [dict(solution)], ctx.graph)
+        found = bool(solutions)
+        return make_boolean(found != expr.negated)
+    raise SparqlEvalError(f"unknown expression node {type(expr).__name__}")
+
+
+def _zero() -> Literal:
+    return Literal("0", "http://www.w3.org/2001/XMLSchema#integer")
+
+
+def _eval_binary(expr: ast.Binary, solution: Solution, ctx: _ExprContext) -> Term:
+    if expr.op == "&&":
+        # SPARQL three-valued logic: an error on one side is tolerated if
+        # the other side already decides the outcome.
+        left = _try_ebv(expr.left, solution, ctx)
+        right = _try_ebv(expr.right, solution, ctx)
+        if left is False or right is False:
+            return make_boolean(False)
+        if left is None or right is None:
+            raise ExpressionError("error in && operand")
+        return make_boolean(True)
+    if expr.op == "||":
+        left = _try_ebv(expr.left, solution, ctx)
+        right = _try_ebv(expr.right, solution, ctx)
+        if left is True or right is True:
+            return make_boolean(True)
+        if left is None or right is None:
+            raise ExpressionError("error in || operand")
+        return make_boolean(False)
+    left = eval_expression(expr.left, solution, ctx)
+    right = eval_expression(expr.right, solution, ctx)
+    if expr.op in ("=", "!=", "<", ">", "<=", ">="):
+        return make_boolean(compare(expr.op, left, right))
+    if expr.op in ("+", "-", "*", "/"):
+        return arithmetic(expr.op, left, right)
+    raise SparqlEvalError(f"unknown operator {expr.op!r}")
+
+
+def _try_ebv(expr: ast.Expression, solution: Solution, ctx: _ExprContext) -> Optional[bool]:
+    try:
+        return effective_boolean_value(eval_expression(expr, solution, ctx))
+    except ExpressionError:
+        return None
+
+
+def _eval_function(expr: ast.FunctionCall, solution: Solution, ctx: _ExprContext) -> Term:
+    name = expr.name
+    if name == "BOUND":
+        if len(expr.args) != 1 or not isinstance(expr.args[0], ast.Var):
+            raise ExpressionError("BOUND requires a single variable")
+        return make_boolean(expr.args[0].name in solution)
+    if name == "IF":
+        condition = effective_boolean_value(
+            eval_expression(expr.args[0], solution, ctx)
+        )
+        branch = expr.args[1] if condition else expr.args[2]
+        return eval_expression(branch, solution, ctx)
+    if name == "COALESCE":
+        for arg in expr.args:
+            try:
+                return eval_expression(arg, solution, ctx)
+            except ExpressionError:
+                continue
+        raise ExpressionError("all COALESCE branches failed")
+    args = [eval_expression(arg, solution, ctx) for arg in expr.args]
+    if name in BUILTINS:
+        return BUILTINS[name](args)
+    if name.startswith("http://www.w3.org/2001/XMLSchema#"):
+        if len(args) != 1:
+            raise ExpressionError("casts take exactly one argument")
+        return xsd_cast(name, args[0])
+    raise ExpressionError(f"unknown function {name!r}")
+
+
+def _eval_in(expr: ast.InExpr, solution: Solution, ctx: _ExprContext) -> Term:
+    needle = eval_expression(expr.expr, solution, ctx)
+    found = False
+    for option in expr.options:
+        try:
+            candidate = eval_expression(option, solution, ctx)
+        except ExpressionError:
+            continue
+        if compare("=", needle, candidate):
+            found = True
+            break
+    return make_boolean(found != expr.negated)
+
+
+def _filter_passes(condition: ast.Expression, solution: Solution, ctx: _ExprContext) -> bool:
+    try:
+        return effective_boolean_value(eval_expression(condition, solution, ctx))
+    except ExpressionError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Triple pattern matching
+# ---------------------------------------------------------------------------
+def _slot_value(slot, solution: Solution):
+    """Resolve a pattern slot under a solution: Term or None (free)."""
+    if isinstance(slot, ast.Var):
+        return solution.get(slot.name)
+    return slot
+
+
+def _match_pattern(pattern: ast.TriplePattern, solutions: List[Solution],
+                   graph: Graph) -> List[Solution]:
+    out: List[Solution] = []
+    for solution in solutions:
+        s = _slot_value(pattern.s, solution)
+        p = _slot_value(pattern.p, solution)
+        o = _slot_value(pattern.o, solution)
+        for ts, tp, to in graph.triples(s, p, o):
+            extended = dict(solution)
+            ok = True
+            for slot, term in ((pattern.s, ts), (pattern.p, tp), (pattern.o, to)):
+                if isinstance(slot, ast.Var):
+                    bound = extended.get(slot.name)
+                    if bound is None:
+                        extended[slot.name] = term
+                    elif bound != term:
+                        ok = False
+                        break
+            if ok:
+                out.append(extended)
+    return out
+
+
+def _pattern_selectivity(pattern: ast.TriplePattern, solution_vars: set,
+                         graph: Graph) -> Tuple[int, int]:
+    """Heuristic: patterns with more bound slots first, then smaller index."""
+    bound = 0
+    for slot in (pattern.s, pattern.p, pattern.o):
+        if not isinstance(slot, ast.Var) or slot.name in solution_vars:
+            bound += 1
+    estimate = len(graph)
+    if not isinstance(pattern.p, ast.Var):
+        estimate = graph.count(None, pattern.p, None)
+    return (-bound, estimate)
+
+
+def _step_targets(graph: Graph, node: Term, step: ast.PredicatePath):
+    if step.inverse:
+        if isinstance(node, Literal):
+            return set()
+        return set(graph.subjects(step.predicate, node))
+    if isinstance(node, Literal):
+        return set()
+    return set(graph.objects(node, step.predicate))
+
+
+def _path_targets(graph: Graph, nodes, path) -> set:
+    """All nodes reachable from ``nodes`` along ``path`` (SPARQL 1.1
+    path semantics; quantified paths are evaluated as node closures)."""
+    if isinstance(path, ast.PredicatePath):
+        out = set()
+        for node in nodes:
+            out |= _step_targets(graph, node, path)
+        return out
+    if isinstance(path, ast.SequencePath):
+        current = set(nodes)
+        for step in path.steps:
+            current = _path_targets(graph, current, step)
+            if not current:
+                break
+        return current
+    if isinstance(path, ast.AlternativePath):
+        out = set()
+        for option in path.options:
+            out |= _path_targets(graph, nodes, option)
+        return out
+    if isinstance(path, ast.QuantifiedPath):
+        if path.quantifier == "?":
+            return set(nodes) | _path_targets(graph, nodes, path.inner)
+        # '*' and '+': breadth-first closure.
+        closure = set(nodes) if path.quantifier == "*" else set()
+        frontier = set(nodes)
+        visited = set(nodes)
+        while frontier:
+            step = _path_targets(graph, frontier, path.inner)
+            new = step - visited
+            closure |= step
+            visited |= new
+            frontier = new
+        return closure
+    raise SparqlEvalError(f"unknown path node {type(path).__name__}")
+
+
+def _invert_path(path):
+    if isinstance(path, ast.PredicatePath):
+        return ast.PredicatePath(path.predicate, not path.inverse)
+    if isinstance(path, ast.SequencePath):
+        return ast.SequencePath(
+            tuple(_invert_path(step) for step in reversed(path.steps))
+        )
+    if isinstance(path, ast.AlternativePath):
+        return ast.AlternativePath(
+            tuple(_invert_path(option) for option in path.options)
+        )
+    if isinstance(path, ast.QuantifiedPath):
+        return ast.QuantifiedPath(_invert_path(path.inner), path.quantifier)
+    raise SparqlEvalError(f"cannot invert {type(path).__name__}")
+
+
+def _path_start_candidates(graph: Graph) -> set:
+    """Candidate start nodes for a path with an unbound subject: every
+    term appearing in the graph (per the zero-length path semantics)."""
+    return graph.all_subjects() | graph.all_objects()
+
+
+def _match_path(pattern: ast.PathPattern, solutions: List[Solution],
+                graph: Graph) -> List[Solution]:
+    out: List[Solution] = []
+    for solution in solutions:
+        s = _slot_value(pattern.s, solution)
+        o = _slot_value(pattern.o, solution)
+        if s is not None:
+            targets = _path_targets(graph, {s}, pattern.path)
+            if o is not None:
+                if o in targets:
+                    out.append(solution)
+                continue
+            for target in targets:
+                extended = dict(solution)
+                extended[pattern.o.name] = target
+                out.append(extended)
+            continue
+        if o is not None:
+            sources = _path_targets(graph, {o}, _invert_path(pattern.path))
+            for source in sources:
+                extended = dict(solution)
+                extended[pattern.s.name] = source
+                out.append(extended)
+            continue
+        # Both endpoints unbound: enumerate start candidates.
+        for start in _path_start_candidates(graph):
+            for target in _path_targets(graph, {start}, pattern.path):
+                extended = dict(solution)
+                extended[pattern.s.name] = start
+                bound = extended.get(pattern.o.name)
+                if bound is None:
+                    branch = dict(extended)
+                    branch[pattern.o.name] = target
+                    out.append(branch)
+                elif bound == target:
+                    out.append(extended)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Group pattern evaluation
+# ---------------------------------------------------------------------------
+def _eval_group(group: ast.GroupPattern, solutions: List[Solution],
+                graph: Graph) -> List[Solution]:
+    """Evaluate a group's children against incoming solutions."""
+    filters: List[ast.Filter] = []
+    pending_triples: List[ast.TriplePattern] = []
+
+    def flush_triples(current: List[Solution]) -> List[Solution]:
+        block = list(pending_triples)
+        pending_triples.clear()
+        while block:
+            bound_vars = set()
+            if current:
+                bound_vars = set(current[0].keys())
+                for sol in current:
+                    bound_vars &= set(sol.keys())
+            block.sort(key=lambda tp: _pattern_selectivity(tp, bound_vars, graph))
+            tp = block.pop(0)
+            current = _match_pattern(tp, current, graph)
+            if not current:
+                return []
+        return current
+
+    current = solutions
+    for child in group.children:
+        if isinstance(child, ast.TriplePattern):
+            pending_triples.append(child)
+            continue
+        current = flush_triples(current)
+        if isinstance(child, ast.Filter):
+            filters.append(child)
+        elif isinstance(child, ast.PathPattern):
+            current = _match_path(child, current, graph)
+        elif isinstance(child, ast.Optional_):
+            current = _eval_optional(child, current, graph)
+        elif isinstance(child, ast.Union):
+            left = _eval_group(child.left, [dict(s) for s in current], graph)
+            right = _eval_group(child.right, [dict(s) for s in current], graph)
+            current = left + right
+        elif isinstance(child, ast.Minus):
+            current = _eval_minus(child, current, graph)
+        elif isinstance(child, ast.Bind):
+            ctx = _ExprContext(graph)
+            for solution in current:
+                if child.var.name in solution:
+                    raise SparqlEvalError(
+                        f"BIND would rebind ?{child.var.name}"
+                    )
+                try:
+                    solution[child.var.name] = eval_expression(
+                        child.expr, solution, ctx
+                    )
+                except ExpressionError:
+                    pass  # variable stays unbound
+        elif isinstance(child, ast.InlineValues):
+            current = _eval_values(child, current)
+        elif isinstance(child, ast.GroupPattern):
+            current = _eval_group(child, current, graph)
+        elif isinstance(child, ast.SubSelect):
+            current = _eval_subselect(child.query, current, graph)
+        else:
+            raise SparqlEvalError(f"unknown pattern node {type(child).__name__}")
+        if not current and not filters:
+            # Short-circuit: nothing can extend an empty solution set,
+            # except UNION of an empty branch which was handled above.
+            pass
+    current = flush_triples(current)
+    ctx = _ExprContext(graph)
+    for flt in filters:
+        current = [s for s in current if _filter_passes(flt.condition, s, ctx)]
+    return current
+
+
+def _eval_optional(node: ast.Optional_, solutions: List[Solution],
+                   graph: Graph) -> List[Solution]:
+    out: List[Solution] = []
+    for solution in solutions:
+        extended = _eval_group(node.pattern, [dict(solution)], graph)
+        if extended:
+            out.extend(extended)
+        else:
+            out.append(solution)
+    return out
+
+
+def _eval_minus(node: ast.Minus, solutions: List[Solution],
+                graph: Graph) -> List[Solution]:
+    removed = _eval_group(node.pattern, [{}], graph)
+    out: List[Solution] = []
+    for solution in solutions:
+        excluded = False
+        for other in removed:
+            shared = set(solution.keys()) & set(other.keys())
+            if shared and all(solution[v] == other[v] for v in shared):
+                excluded = True
+                break
+        if not excluded:
+            out.append(solution)
+    return out
+
+
+def _eval_values(node: ast.InlineValues, solutions: List[Solution]) -> List[Solution]:
+    out: List[Solution] = []
+    for solution in solutions:
+        for row in node.rows:
+            candidate = dict(solution)
+            ok = True
+            for var, term in zip(node.variables, row):
+                if term is None:
+                    continue
+                bound = candidate.get(var.name)
+                if bound is None:
+                    candidate[var.name] = term
+                elif bound != term:
+                    ok = False
+                    break
+            if ok:
+                out.append(candidate)
+    return out
+
+
+def _eval_subselect(query: ast.SelectQuery, solutions: List[Solution],
+                    graph: Graph) -> List[Solution]:
+    inner = _eval_select(query, graph)
+    inner_solutions = [dict(row.items()) for row in inner.rows]
+    out: List[Solution] = []
+    for solution in solutions:
+        for other in inner_solutions:
+            shared = set(solution.keys()) & set(other.keys())
+            if all(solution[v] == other[v] for v in shared):
+                merged = dict(solution)
+                merged.update(other)
+                out.append(merged)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# SELECT evaluation: grouping, aggregation, projection, modifiers
+# ---------------------------------------------------------------------------
+def _collect_aggregates(exprs: Iterable[ast.Expression]) -> List[ast.Aggregate]:
+    found: List[ast.Aggregate] = []
+
+    def walk(node):
+        if isinstance(node, ast.Aggregate):
+            if node not in found:
+                found.append(node)
+            return
+        if isinstance(node, ast.Unary):
+            walk(node.operand)
+        elif isinstance(node, ast.Binary):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.FunctionCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, ast.InExpr):
+            walk(node.expr)
+            for opt in node.options:
+                walk(opt)
+
+    for expr in exprs:
+        if expr is not None:
+            walk(expr)
+    return found
+
+
+def _needs_aggregation(query: ast.SelectQuery) -> bool:
+    if query.group_by or query.having:
+        return True
+    exprs = [p.expr for p in query.projections if p.expr is not None]
+    return bool(_collect_aggregates(exprs))
+
+
+def _group_key(group_exprs, solution: Solution, ctx: _ExprContext):
+    key = []
+    for expr in group_exprs:
+        try:
+            key.append(eval_expression(expr, solution, ctx))
+        except ExpressionError:
+            key.append(None)
+    return tuple(key)
+
+
+def _aggregate_groups(query: ast.SelectQuery, solutions: List[Solution],
+                      graph: Graph) -> List[Solution]:
+    ctx = _ExprContext(graph)
+    groups: Dict[tuple, List[Solution]] = {}
+    order: List[tuple] = []
+    if query.group_by:
+        for solution in solutions:
+            key = _group_key(query.group_by, solution, ctx)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(solution)
+    else:
+        # Implicit single group (possibly empty).
+        key = ()
+        groups[key] = list(solutions)
+        order.append(key)
+
+    agg_exprs = _collect_aggregates(
+        [p.expr for p in query.projections if p.expr is not None]
+        + list(query.having)
+        + [c.expr for c in query.order_by]
+    )
+
+    out: List[Solution] = []
+    for key in order:
+        members = groups[key]
+        # Representative solution carries the group-key bindings.
+        representative: Solution = {}
+        for expr, value in zip(query.group_by, key):
+            if isinstance(expr, ast.Var) and value is not None:
+                representative[expr.name] = value
+        if members and query.group_by:
+            # Also keep bindings constant across the group (safe extras).
+            first = members[0]
+            constant = {
+                k: v for k, v in first.items()
+                if all(m.get(k) == v for m in members)
+            }
+            constant.update(representative)
+            representative = constant
+        computed: Dict[ast.Aggregate, Term] = {}
+        for agg in agg_exprs:
+            if agg.expr is None:  # COUNT(*)
+                if agg.distinct:
+                    unique = {frozenset(m.items()) for m in members}
+                    computed[agg] = eval_aggregate(
+                        "COUNT", [Literal.of(i) for i in range(len(unique))],
+                        False, agg.separator,
+                    )
+                else:
+                    computed[agg] = eval_aggregate(
+                        "COUNT", [Literal.of(i) for i in range(len(members))],
+                        False, agg.separator,
+                    )
+                continue
+            values: List[Optional[Term]] = []
+            for member in members:
+                try:
+                    values.append(eval_expression(agg.expr, member, ctx))
+                except ExpressionError:
+                    values.append(None)
+            computed[agg] = eval_aggregate(
+                agg.name, values, agg.distinct, agg.separator
+            )
+        key_values: Dict[ast.Expression, Optional[Term]] = dict(
+            zip(query.group_by, key)
+        )
+        group_ctx = _ExprContext(graph, computed, key_values)
+        passes = all(
+            _filter_passes(cond, representative, group_ctx)
+            for cond in query.having
+        )
+        if not passes:
+            continue
+        # Skip the empty implicit group for pure-aggregate queries only if
+        # grouping was requested; an empty ungrouped aggregate still yields
+        # one row (e.g. COUNT(*) = 0).
+        if not members and query.group_by:
+            continue
+        representative["__aggregates__"] = computed  # type: ignore[assignment]
+        representative["__groupkeys__"] = key_values  # type: ignore[assignment]
+        out.append(representative)
+    return out
+
+
+def _project_rows(query: ast.SelectQuery, solutions: List[Solution],
+                  graph: Graph, aggregated: bool):
+    """Project each solution; returns (row, sort_solution, ctx) triples.
+
+    ``sort_solution`` merges the pre-projection bindings with the
+    projected names, and ``ctx`` keeps the aggregate/group-key values —
+    so ORDER BY can reference non-projected variables, projection
+    aliases and aggregates alike (the SPARQL algebra order).
+    """
+    out = []
+    for solution in solutions:
+        computed = solution.pop("__aggregates__", None) if aggregated else None
+        group_keys = solution.pop("__groupkeys__", None) if aggregated else None
+        ctx = _ExprContext(graph, computed, group_keys)
+        visible = {k: v for k, v in solution.items() if not k.startswith("__")}
+        if query.is_star:
+            row: Solution = dict(visible)
+        else:
+            row = {}
+            for projection in query.projections:
+                if projection.expr is None:
+                    value = solution.get(projection.var.name)
+                    if value is not None:
+                        row[projection.var.name] = value
+                else:
+                    try:
+                        row[projection.var.name] = eval_expression(
+                            projection.expr, solution, ctx
+                        )
+                    except ExpressionError:
+                        pass
+        merged = dict(visible)
+        merged.update(row)
+        out.append((row, merged, ctx))
+    return out
+
+
+def _apply_modifiers(query: ast.SelectQuery, projected, graph: Graph) -> List[Solution]:
+    """Order (over pre-projection scope), then DISTINCT/OFFSET/LIMIT."""
+    if query.order_by:
+        def sort_key(entry):
+            _, merged, ctx = entry
+            key = []
+            for cond in query.order_by:
+                try:
+                    term = eval_expression(cond.expr, merged, ctx)
+                    part = term.sort_key()
+                except ExpressionError:
+                    part = (-1,)
+                key.append(_Descending(part) if cond.descending else part)
+            return key
+
+        projected = sorted(projected, key=sort_key)
+    solutions = [row for row, _, _ in projected]
+    if query.distinct:
+        seen = set()
+        unique: List[Solution] = []
+        for solution in solutions:
+            fingerprint = frozenset(solution.items())
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                unique.append(solution)
+        solutions = unique
+    if query.offset:
+        solutions = solutions[query.offset:]
+    if query.limit is not None:
+        solutions = solutions[: query.limit]
+    return solutions
+
+
+class _Descending:
+    """Wrapper inverting comparison order for ORDER BY ... DESC."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return isinstance(other, _Descending) and other.key == self.key
+
+
+def _eval_select(query: ast.SelectQuery, graph: Graph) -> SelectResult:
+    solutions = _eval_group(query.where, [{}], graph)
+    aggregated = _needs_aggregation(query)
+    if aggregated:
+        solutions = _aggregate_groups(query, solutions, graph)
+    decorated = _project_rows(query, solutions, graph, aggregated)
+    projected = _apply_modifiers(query, decorated, graph)
+    if query.is_star:
+        names: List[str] = []
+        for solution in projected:
+            for name in solution:
+                if name not in names:
+                    names.append(name)
+        names.sort()
+    else:
+        names = [p.var.name for p in query.projections]
+    return SelectResult(names, [Row(s) for s in projected])
+
+
+def _eval_ask(query: ast.AskQuery, graph: Graph) -> bool:
+    return bool(_eval_group(query.where, [{}], graph))
+
+
+def _eval_construct(query: ast.ConstructQuery, graph: Graph) -> Graph:
+    solutions = _eval_group(query.where, [{}], graph)
+    if query.limit is not None:
+        solutions = solutions[: query.limit]
+    result = Graph()
+    bnode_counter = [0]
+    for solution in solutions:
+        instantiation: Dict[str, BNode] = {}
+
+        def resolve(slot):
+            if isinstance(slot, ast.Var):
+                return solution.get(slot.name)
+            if isinstance(slot, BNode):
+                if slot.label not in instantiation:
+                    bnode_counter[0] += 1
+                    instantiation[slot.label] = BNode(f"c{bnode_counter[0]}")
+                return instantiation[slot.label]
+            return slot
+
+        for pattern in query.template:
+            s, p, o = resolve(pattern.s), resolve(pattern.p), resolve(pattern.o)
+            if s is None or p is None or o is None:
+                continue
+            if isinstance(s, Literal) or not isinstance(p, IRI):
+                continue
+            result.add(s, p, o)
+    return result
+
+
+def evaluate(parsed, graph: Graph):
+    """Evaluate a parsed query AST over a graph."""
+    if isinstance(parsed, ast.SelectQuery):
+        return _eval_select(parsed, graph)
+    if isinstance(parsed, ast.AskQuery):
+        return _eval_ask(parsed, graph)
+    if isinstance(parsed, ast.ConstructQuery):
+        return _eval_construct(parsed, graph)
+    raise SparqlEvalError(f"cannot evaluate {type(parsed).__name__}")
+
+
+def query(graph: Graph, text: str):
+    """Parse and evaluate SPARQL ``text`` over ``graph``.
+
+    Returns a :class:`SelectResult` for SELECT, a :class:`bool` for ASK,
+    and a :class:`Graph` for CONSTRUCT.
+    """
+    return evaluate(parse_query(text), graph)

@@ -1,0 +1,864 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Entry point: :func:`parse_query`, returning a :class:`SelectQuery`,
+:class:`AskQuery` or :class:`ConstructQuery` AST.
+
+Besides the standard grammar, the parser accepts two convenience forms
+that the dissertation's listings use:
+
+* **bare aggregate / function projections** — ``SELECT ?x2 SUM(?x3)``
+  and ``SELECT month(?x2) ...`` are accepted; such projections are given
+  a synthesized variable name (``sum_x3``, ``month_x2``, ...);
+* ``GROUP BY month(?x2)`` — function-call grouping conditions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional as Opt, Tuple
+
+from repro.rdf.namespace import WELL_KNOWN_PREFIXES
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+)
+from repro.sparql import ast
+from repro.sparql.errors import SparqlParseError
+from repro.sparql.lexer import Token, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT"}
+
+_BUILTINS = {
+    "STR", "LANG", "DATATYPE", "BOUND", "IF", "COALESCE",
+    "YEAR", "MONTH", "DAY", "HOURS", "MINUTES", "SECONDS",
+    "ABS", "CEIL", "FLOOR", "ROUND",
+    "CONCAT", "UCASE", "LCASE", "STRLEN", "SUBSTR",
+    "CONTAINS", "STRSTARTS", "STRENDS", "STRBEFORE", "STRAFTER", "REPLACE",
+    "REGEX", "ISURI", "ISIRI", "ISLITERAL", "ISBLANK", "ISNUMERIC",
+    "URI", "IRI",
+}
+
+_UNESCAPES = {
+    "\\\\": "\\", '\\"': '"', "\\'": "'",
+    "\\n": "\n", "\\r": "\r", "\\t": "\t", "\\b": "\b", "\\f": "\f",
+}
+_UNESCAPE_RE = re.compile(r'\\[\\"\'nrtbf]|\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8}')
+
+
+def _unescape(text: str) -> str:
+    def repl(m: re.Match) -> str:
+        token = m.group(0)
+        if token in _UNESCAPES:
+            return _UNESCAPES[token]
+        return chr(int(token[2:], 16))
+
+    return _UNESCAPE_RE.sub(repl, text)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._pos = 0
+        self._prefixes: Dict[str, str] = dict(WELL_KNOWN_PREFIXES)
+        self._base = ""
+        self._auto_names: Dict[str, int] = {}
+        self._bnode_count = 0
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Opt[Token]:
+        index = self._pos + ahead
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SparqlParseError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _at_punct(self, char: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "PUNCT" and token.text == char
+
+    def _at_op(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "OP" and token.text == text
+
+    def _at_name(self, *names: str) -> bool:
+        token = self._peek()
+        return token is not None and token.is_name(*names)
+
+    def _eat_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "PUNCT" or token.text != char:
+            raise SparqlParseError(
+                f"expected {char!r}, got {token.text!r}", token.line, token.column
+            )
+
+    def _eat_name(self, *names: str) -> Token:
+        token = self._next()
+        if not token.is_name(*names):
+            raise SparqlParseError(
+                f"expected {'/'.join(names)}, got {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return token
+
+    def _error(self, message: str) -> SparqlParseError:
+        token = self._peek()
+        if token is None:
+            return SparqlParseError(message)
+        return SparqlParseError(
+            f"{message}, got {token.text!r}", token.line, token.column
+        )
+
+    # -- entry points ------------------------------------------------------
+    def parse(self):
+        self._prologue()
+        if self._at_name("SELECT"):
+            query = self._select_query()
+        elif self._at_name("ASK"):
+            query = self._ask_query()
+        elif self._at_name("CONSTRUCT"):
+            query = self._construct_query()
+        else:
+            raise self._error("expected SELECT, ASK or CONSTRUCT")
+        if self._peek() is not None:
+            raise self._error("trailing tokens after query")
+        return query
+
+    def _prologue(self) -> None:
+        while self._at_name("PREFIX", "BASE"):
+            keyword = self._next().text.upper()
+            if keyword == "PREFIX":
+                name_token = self._next()
+                if name_token.kind != "PNAME" or not name_token.text.endswith(":"):
+                    raise SparqlParseError(
+                        "expected prefix declaration name",
+                        name_token.line,
+                        name_token.column,
+                    )
+                iri_token = self._next()
+                if iri_token.kind != "IRIREF":
+                    raise SparqlParseError(
+                        "expected IRI in PREFIX declaration",
+                        iri_token.line,
+                        iri_token.column,
+                    )
+                self._prefixes[name_token.text[:-1]] = iri_token.text[1:-1]
+            else:
+                iri_token = self._next()
+                if iri_token.kind != "IRIREF":
+                    raise SparqlParseError(
+                        "expected IRI in BASE declaration",
+                        iri_token.line,
+                        iri_token.column,
+                    )
+                self._base = iri_token.text[1:-1]
+
+    # -- query forms -------------------------------------------------------
+    def _select_query(self) -> ast.SelectQuery:
+        self._eat_name("SELECT")
+        distinct = False
+        if self._at_name("DISTINCT"):
+            self._next()
+            distinct = True
+        elif self._at_name("REDUCED"):
+            self._next()
+        projections = self._projections()
+        if self._at_name("WHERE"):
+            self._next()
+        where = self._group_graph_pattern()
+        group_by, having, order_by, limit, offset = self._modifiers()
+        return ast.SelectQuery(
+            projections=tuple(projections),
+            where=where,
+            distinct=distinct,
+            group_by=tuple(group_by),
+            having=tuple(having),
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+        )
+
+    def _ask_query(self) -> ast.AskQuery:
+        self._eat_name("ASK")
+        if self._at_name("WHERE"):
+            self._next()
+        return ast.AskQuery(where=self._group_graph_pattern())
+
+    def _construct_query(self) -> ast.ConstructQuery:
+        self._eat_name("CONSTRUCT")
+        template = self._construct_template()
+        self._eat_name("WHERE")
+        where = self._group_graph_pattern()
+        limit = None
+        if self._at_name("LIMIT"):
+            self._next()
+            limit = int(self._next().text)
+        return ast.ConstructQuery(template=tuple(template), where=where, limit=limit)
+
+    def _construct_template(self) -> List[ast.TriplePattern]:
+        self._eat_punct("{")
+        patterns: List[ast.TriplePattern] = []
+        while not self._at_punct("}"):
+            for pattern in self._triples_same_subject():
+                if not isinstance(pattern, ast.TriplePattern):
+                    raise self._error("property paths are not allowed in CONSTRUCT templates")
+                patterns.append(pattern)
+            if self._at_punct("."):
+                self._next()
+        self._eat_punct("}")
+        return patterns
+
+    # -- projections ---------------------------------------------------------
+    def _auto_var(self, stem: str) -> ast.Var:
+        count = self._auto_names.get(stem, 0)
+        self._auto_names[stem] = count + 1
+        return ast.Var(stem if count == 0 else f"{stem}{count + 1}")
+
+    def _projection_stem(self, expr: ast.Expression, default: str) -> str:
+        """Readable auto-name for a bare projection, e.g. ``sum_x3``."""
+        if isinstance(expr, (ast.Aggregate, ast.FunctionCall)):
+            inner = None
+            args = (expr.expr,) if isinstance(expr, ast.Aggregate) else expr.args
+            for arg in args or ():
+                if isinstance(arg, ast.Var):
+                    inner = arg.name
+                    break
+            name = expr.name.lower().replace(":", "_").replace("#", "_")
+            return f"{name}_{inner}" if inner else name
+        return default
+
+    def _projections(self) -> List[ast.Projection]:
+        projections: List[ast.Projection] = []
+        if self._at_op("*"):
+            self._next()
+            return projections
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "VAR":
+                self._next()
+                projections.append(ast.Projection(var=ast.Var(token.text[1:])))
+                continue
+            if token.kind == "PUNCT" and token.text == "(":
+                self._next()
+                expr = self._expression()
+                if self._at_name("AS"):
+                    self._next()
+                    var_token = self._next()
+                    if var_token.kind != "VAR":
+                        raise SparqlParseError(
+                            "expected variable after AS",
+                            var_token.line,
+                            var_token.column,
+                        )
+                    var = ast.Var(var_token.text[1:])
+                else:
+                    var = self._auto_var(self._projection_stem(expr, "expr"))
+                self._eat_punct(")")
+                projections.append(ast.Projection(var=var, expr=expr))
+                continue
+            if token.kind == "NAME" and not token.is_name("WHERE", "FROM") \
+                    and self._peek(1) is not None and self._peek(1).text == "(":
+                expr = self._expression_primary()
+                var = self._auto_var(self._projection_stem(expr, "expr"))
+                projections.append(ast.Projection(var=var, expr=expr))
+                continue
+            break
+        if not projections:
+            raise self._error("expected at least one projection")
+        return projections
+
+    # -- solution modifiers ---------------------------------------------------
+    def _modifiers(self):
+        group_by: List[ast.Expression] = []
+        having: List[ast.Expression] = []
+        order_by: List[ast.OrderCondition] = []
+        limit: Opt[int] = None
+        offset = 0
+        while True:
+            if self._at_name("GROUP"):
+                self._next()
+                self._eat_name("BY")
+                group_by.extend(self._group_conditions())
+            elif self._at_name("HAVING"):
+                self._next()
+                having.append(self._expression_primary_bracketted())
+                while self._at_punct("("):
+                    having.append(self._expression_primary_bracketted())
+            elif self._at_name("ORDER"):
+                self._next()
+                self._eat_name("BY")
+                order_by.extend(self._order_conditions())
+            elif self._at_name("LIMIT"):
+                self._next()
+                limit = self._integer_value()
+            elif self._at_name("OFFSET"):
+                self._next()
+                offset = self._integer_value()
+            else:
+                break
+        return group_by, having, order_by, limit, offset
+
+    def _integer_value(self) -> int:
+        token = self._next()
+        if token.kind != "INTEGER":
+            raise SparqlParseError(
+                f"expected an integer, got {token.text!r}", token.line, token.column
+            )
+        return int(token.text)
+
+    def _group_conditions(self) -> List[ast.Expression]:
+        conditions: List[ast.Expression] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "VAR":
+                self._next()
+                conditions.append(ast.Var(token.text[1:]))
+                continue
+            if token.kind == "PUNCT" and token.text == "(":
+                self._next()
+                expr = self._expression()
+                if self._at_name("AS"):
+                    # GROUP BY (expr AS ?v) binds ?v; we model it as a Bind
+                    # appended by the evaluator, so keep the raw expression.
+                    self._next()
+                    self._next()
+                self._eat_punct(")")
+                conditions.append(expr)
+                continue
+            if token.kind == "NAME" and token.text.upper() in (_BUILTINS | _AGGREGATES) \
+                    and self._peek(1) is not None and self._peek(1).text == "(":
+                conditions.append(self._expression_primary())
+                continue
+            if token.kind in ("PNAME", "IRIREF") \
+                    and self._peek(1) is not None and self._peek(1).text == "(":
+                conditions.append(self._expression_primary())
+                continue
+            break
+        if not conditions:
+            raise self._error("expected GROUP BY condition")
+        return conditions
+
+    def _order_conditions(self) -> List[ast.OrderCondition]:
+        conditions: List[ast.OrderCondition] = []
+        while True:
+            if self._at_name("ASC", "DESC"):
+                descending = self._next().text.upper() == "DESC"
+                self._eat_punct("(")
+                expr = self._expression()
+                self._eat_punct(")")
+                conditions.append(ast.OrderCondition(expr, descending))
+                continue
+            token = self._peek()
+            if token is not None and token.kind == "VAR":
+                self._next()
+                conditions.append(ast.OrderCondition(ast.Var(token.text[1:])))
+                continue
+            if token is not None and token.kind == "PUNCT" and token.text == "(":
+                self._next()
+                expr = self._expression()
+                self._eat_punct(")")
+                conditions.append(ast.OrderCondition(expr))
+                continue
+            if token is not None and token.kind == "NAME" \
+                    and token.text.upper() in (_BUILTINS | _AGGREGATES) \
+                    and self._peek(1) is not None and self._peek(1).text == "(":
+                conditions.append(ast.OrderCondition(self._expression_primary()))
+                continue
+            break
+        if not conditions:
+            raise self._error("expected ORDER BY condition")
+        return conditions
+
+    def _expression_primary_bracketted(self) -> ast.Expression:
+        """A HAVING constraint: ``( expr )`` or a bare builtin/aggregate call."""
+        if self._at_punct("("):
+            self._next()
+            expr = self._expression()
+            self._eat_punct(")")
+            return expr
+        return self._expression_primary()
+
+    # -- graph patterns ---------------------------------------------------
+    def _group_graph_pattern(self) -> ast.GroupPattern:
+        self._eat_punct("{")
+        if self._at_name("SELECT"):
+            sub = self._select_query()
+            self._eat_punct("}")
+            return ast.GroupPattern(children=(ast.SubSelect(sub),))
+        children: List[ast.Pattern] = []
+        while not self._at_punct("}"):
+            token = self._peek()
+            if token is None:
+                raise self._error("unterminated group pattern")
+            if token.is_name("FILTER"):
+                self._next()
+                children.append(ast.Filter(self._filter_constraint()))
+            elif token.is_name("OPTIONAL"):
+                self._next()
+                children.append(ast.Optional_(self._group_graph_pattern()))
+            elif token.is_name("MINUS"):
+                self._next()
+                children.append(ast.Minus(self._group_graph_pattern()))
+            elif token.is_name("BIND"):
+                self._next()
+                self._eat_punct("(")
+                expr = self._expression()
+                self._eat_name("AS")
+                var_token = self._next()
+                if var_token.kind != "VAR":
+                    raise SparqlParseError(
+                        "expected variable after AS", var_token.line, var_token.column
+                    )
+                self._eat_punct(")")
+                children.append(ast.Bind(expr, ast.Var(var_token.text[1:])))
+            elif token.is_name("VALUES"):
+                self._next()
+                children.append(self._values_clause())
+            elif token.kind == "PUNCT" and token.text == "{":
+                children.append(self._group_or_union())
+            else:
+                children.extend(self._triples_same_subject())
+            if self._at_punct("."):
+                self._next()
+        self._eat_punct("}")
+        return ast.GroupPattern(children=tuple(children))
+
+    def _group_or_union(self) -> ast.Pattern:
+        left = self._group_graph_pattern()
+        if not self._at_name("UNION"):
+            return left
+        result: ast.Pattern = left
+        while self._at_name("UNION"):
+            self._next()
+            right = self._group_graph_pattern()
+            if not isinstance(result, ast.GroupPattern):
+                result = ast.GroupPattern(children=(result,))
+            result = ast.Union(result, right)
+        return result
+
+    def _filter_constraint(self) -> ast.Expression:
+        token = self._peek()
+        if token is not None and token.kind == "PUNCT" and token.text == "(":
+            self._next()
+            expr = self._expression()
+            self._eat_punct(")")
+            return expr
+        return self._expression_primary()
+
+    def _values_clause(self) -> ast.InlineValues:
+        variables: List[ast.Var] = []
+        token = self._peek()
+        if token is not None and token.kind == "VAR":
+            variables.append(ast.Var(self._next().text[1:]))
+            single = True
+        else:
+            self._eat_punct("(")
+            while not self._at_punct(")"):
+                var_token = self._next()
+                if var_token.kind != "VAR":
+                    raise SparqlParseError(
+                        "expected variable in VALUES",
+                        var_token.line,
+                        var_token.column,
+                    )
+                variables.append(ast.Var(var_token.text[1:]))
+            self._next()
+            single = False
+        rows: List[Tuple[Opt[Term], ...]] = []
+        self._eat_punct("{")
+        while not self._at_punct("}"):
+            if single:
+                rows.append((self._values_term(),))
+            else:
+                self._eat_punct("(")
+                row: List[Opt[Term]] = []
+                while not self._at_punct(")"):
+                    row.append(self._values_term())
+                self._next()
+                if len(row) != len(variables):
+                    raise self._error("VALUES row arity mismatch")
+                rows.append(tuple(row))
+        self._next()
+        return ast.InlineValues(tuple(variables), tuple(rows))
+
+    def _values_term(self) -> Opt[Term]:
+        if self._at_name("UNDEF"):
+            self._next()
+            return None
+        slot = self._term_slot()
+        if isinstance(slot, ast.Var):
+            raise self._error("variables are not allowed inside VALUES data")
+        return slot
+
+    # -- triples ------------------------------------------------------------
+    def _triples_same_subject(self) -> List[ast.Pattern]:
+        patterns: List[ast.Pattern] = []
+        if self._at_punct("["):
+            subject = self._blank_node_property_list(patterns)
+        else:
+            subject = self._term_slot()
+            if isinstance(subject, Literal):
+                raise self._error("literal cannot be a subject")
+        self._predicate_object_list(subject, patterns)
+        return patterns
+
+    def _blank_node_property_list(self, patterns: List[ast.Pattern]) -> BNode:
+        self._eat_punct("[")
+        self._bnode_count += 1
+        node = BNode(f"q{self._bnode_count}")
+        if not self._at_punct("]"):
+            self._predicate_object_list(node, patterns)
+        self._eat_punct("]")
+        return node
+
+    def _predicate_object_list(self, subject, patterns: List[ast.Pattern]) -> None:
+        while True:
+            path = self._path()
+            while True:
+                if self._at_punct("["):
+                    obj = self._blank_node_property_list(patterns)
+                else:
+                    obj = self._term_slot()
+                patterns.append(self._make_pattern(subject, path, obj))
+                if self._at_punct(","):
+                    self._next()
+                    continue
+                break
+            if self._at_punct(";"):
+                self._next()
+                token = self._peek()
+                if token is not None and (
+                    (token.kind == "PUNCT" and token.text in ".]}")
+                ):
+                    return
+                continue
+            return
+
+    @staticmethod
+    def _make_pattern(subject, path, obj) -> ast.Pattern:
+        if isinstance(path, ast.PredicatePath) and not path.inverse:
+            return ast.TriplePattern(subject, path.predicate, obj)
+        if isinstance(path, ast.Var):
+            return ast.TriplePattern(subject, path, obj)
+        return ast.PathPattern(subject, path, obj)
+
+    def _path(self):
+        token = self._peek()
+        if token is not None and token.kind == "VAR":
+            self._next()
+            return ast.Var(token.text[1:])
+        return self._path_alternative()
+
+    def _path_alternative(self):
+        options = [self._path_sequence()]
+        while self._at_op("|"):
+            self._next()
+            options.append(self._path_sequence())
+        if len(options) == 1:
+            return options[0]
+        return ast.AlternativePath(tuple(options))
+
+    def _path_sequence(self):
+        steps = [self._path_elt()]
+        while self._at_op("/"):
+            self._next()
+            steps.append(self._path_elt())
+        if len(steps) == 1:
+            return steps[0]
+        return ast.SequencePath(tuple(steps))
+
+    def _path_elt(self):
+        inverse = False
+        if self._at_op("^"):
+            self._next()
+            inverse = True
+        primary = self._path_primary()
+        if inverse:
+            if isinstance(primary, ast.PredicatePath):
+                primary = ast.PredicatePath(primary.predicate, not primary.inverse)
+            else:
+                raise self._error(
+                    "inverse (^) of a grouped path is not supported"
+                )
+        token = self._peek()
+        if token is not None and token.kind == "OP" and token.text in "*+?":
+            self._next()
+            return ast.QuantifiedPath(primary, token.text)
+        return primary
+
+    def _path_primary(self):
+        token = self._peek()
+        if token is not None and token.kind == "PUNCT" and token.text == "(":
+            self._next()
+            inner = self._path_alternative()
+            self._eat_punct(")")
+            return inner
+        token = self._next()
+        if token.kind == "NAME" and token.text == "a":
+            from repro.rdf.namespace import RDF
+
+            return ast.PredicatePath(RDF.type, False)
+        if token.kind == "IRIREF":
+            iri = token.text[1:-1]
+            return ast.PredicatePath(
+                IRI(self._base + iri if self._needs_base(iri) else iri), False
+            )
+        if token.kind == "PNAME":
+            return ast.PredicatePath(self._pname(token), False)
+        raise SparqlParseError(
+            f"expected a predicate, got {token.text!r}", token.line, token.column
+        )
+
+    def _needs_base(self, iri: str) -> bool:
+        return bool(self._base) and "://" not in iri and not iri.startswith("urn:")
+
+    def _term_slot(self):
+        """A term in a triple slot: Var or constant Term."""
+        token = self._next()
+        if token.kind == "VAR":
+            return ast.Var(token.text[1:])
+        if token.kind == "IRIREF":
+            iri = token.text[1:-1]
+            return IRI(self._base + iri if self._needs_base(iri) else iri)
+        if token.kind == "PNAME":
+            return self._pname(token)
+        if token.kind == "BNODE":
+            return BNode(token.text[2:])
+        if token.kind == "STRING":
+            return self._string_literal(token)
+        if token.kind == "INTEGER":
+            return Literal(token.text, XSD_INTEGER)
+        if token.kind == "DECIMAL":
+            return Literal(token.text, XSD_DECIMAL)
+        if token.kind == "DOUBLE":
+            return Literal(token.text, XSD_DOUBLE)
+        if token.is_name("TRUE", "FALSE"):
+            return Literal(token.text.lower(), XSD_BOOLEAN)
+        if token.kind == "NAME" and token.text == "a":
+            from repro.rdf.namespace import RDF
+
+            return RDF.type
+        raise SparqlParseError(
+            f"expected an RDF term, got {token.text!r}", token.line, token.column
+        )
+
+    def _string_literal(self, token: Token) -> Literal:
+        text = token.text
+        if text.startswith(('"""', "'''")):
+            lexical = _unescape(text[3:-3])
+        else:
+            lexical = _unescape(text[1:-1])
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "LANGTAG":
+            self._next()
+            return Literal(lexical, XSD_STRING, nxt.text[1:])
+        if nxt is not None and nxt.kind == "DTYPE":
+            self._next()
+            dt_token = self._next()
+            if dt_token.kind == "IRIREF":
+                datatype = dt_token.text[1:-1]
+            elif dt_token.kind == "PNAME":
+                datatype = self._pname(dt_token).value
+            else:
+                raise SparqlParseError(
+                    "expected datatype after ^^", dt_token.line, dt_token.column
+                )
+            return Literal(lexical, datatype)
+        return Literal(lexical, XSD_STRING)
+
+    def _pname(self, token: Token) -> IRI:
+        prefix, _, local = token.text.partition(":")
+        if prefix not in self._prefixes:
+            raise SparqlParseError(
+                f"undefined prefix {prefix!r}", token.line, token.column
+            )
+        return IRI(self._prefixes[prefix] + local)
+
+    # -- expressions --------------------------------------------------------
+    def _expression(self) -> ast.Expression:
+        return self._or_expression()
+
+    def _or_expression(self) -> ast.Expression:
+        left = self._and_expression()
+        while self._at_op("||"):
+            self._next()
+            left = ast.Binary("||", left, self._and_expression())
+        return left
+
+    def _and_expression(self) -> ast.Expression:
+        left = self._relational_expression()
+        while self._at_op("&&"):
+            self._next()
+            left = ast.Binary("&&", left, self._relational_expression())
+        return left
+
+    def _relational_expression(self) -> ast.Expression:
+        left = self._additive_expression()
+        token = self._peek()
+        if token is not None and token.kind == "OP" and token.text in (
+            "=", "!=", "<", ">", "<=", ">=",
+        ):
+            op = self._next().text
+            return ast.Binary(op, left, self._additive_expression())
+        if self._at_name("IN"):
+            self._next()
+            return ast.InExpr(left, tuple(self._expression_list()), negated=False)
+        if self._at_name("NOT"):
+            self._next()
+            self._eat_name("IN")
+            return ast.InExpr(left, tuple(self._expression_list()), negated=True)
+        return left
+
+    def _expression_list(self) -> List[ast.Expression]:
+        self._eat_punct("(")
+        items: List[ast.Expression] = []
+        while not self._at_punct(")"):
+            items.append(self._expression())
+            if self._at_punct(","):
+                self._next()
+        self._next()
+        return items
+
+    def _additive_expression(self) -> ast.Expression:
+        left = self._multiplicative_expression()
+        while True:
+            if self._at_op("+"):
+                self._next()
+                left = ast.Binary("+", left, self._multiplicative_expression())
+            elif self._at_op("-"):
+                self._next()
+                left = ast.Binary("-", left, self._multiplicative_expression())
+            else:
+                return left
+
+    def _multiplicative_expression(self) -> ast.Expression:
+        left = self._unary_expression()
+        while True:
+            if self._at_op("*"):
+                self._next()
+                left = ast.Binary("*", left, self._unary_expression())
+            elif self._at_op("/"):
+                self._next()
+                left = ast.Binary("/", left, self._unary_expression())
+            else:
+                return left
+
+    def _unary_expression(self) -> ast.Expression:
+        if self._at_op("!"):
+            self._next()
+            return ast.Unary("!", self._unary_expression())
+        if self._at_op("-"):
+            self._next()
+            return ast.Unary("-", self._unary_expression())
+        if self._at_op("+"):
+            self._next()
+            return ast.Unary("+", self._unary_expression())
+        return self._expression_primary()
+
+    def _expression_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected an expression")
+        if token.kind == "PUNCT" and token.text == "(":
+            self._next()
+            expr = self._expression()
+            self._eat_punct(")")
+            return expr
+        if token.kind == "VAR":
+            self._next()
+            return ast.Var(token.text[1:])
+        if token.kind == "NAME":
+            upper = token.text.upper()
+            if upper in ("TRUE", "FALSE"):
+                self._next()
+                return ast.TermExpr(Literal(token.text.lower(), XSD_BOOLEAN))
+            if upper in ("EXISTS", "NOT"):
+                negated = False
+                if upper == "NOT":
+                    self._next()
+                    self._eat_name("EXISTS")
+                    negated = True
+                else:
+                    self._next()
+                return ast.ExistsExpr(self._group_graph_pattern(), negated)
+            if upper in _AGGREGATES:
+                return self._aggregate()
+            if upper in _BUILTINS:
+                self._next()
+                args = tuple(self._expression_list())
+                return ast.FunctionCall(upper, args)
+            raise SparqlParseError(
+                f"unknown function or keyword {token.text!r}",
+                token.line,
+                token.column,
+            )
+        if token.kind in ("PNAME", "IRIREF"):
+            # Cast/constructor call (xsd:integer("1")) or a plain IRI term.
+            iri = (
+                self._pname(token)
+                if token.kind == "PNAME"
+                else IRI(token.text[1:-1])
+            )
+            self._next()
+            if self._at_punct("("):
+                args = tuple(self._expression_list())
+                return ast.FunctionCall(iri.value, args)
+            return ast.TermExpr(iri)
+        if token.kind in ("STRING", "INTEGER", "DECIMAL", "DOUBLE"):
+            term = self._term_slot()
+            return ast.TermExpr(term)
+        raise SparqlParseError(
+            f"cannot parse expression at {token.text!r}", token.line, token.column
+        )
+
+    def _aggregate(self) -> ast.Aggregate:
+        name = self._next().text.upper()
+        self._eat_punct("(")
+        distinct = False
+        if self._at_name("DISTINCT"):
+            self._next()
+            distinct = True
+        if self._at_op("*"):
+            self._next()
+            self._eat_punct(")")
+            return ast.Aggregate(name, None, distinct)
+        expr = self._expression()
+        separator = " "
+        if self._at_punct(";"):
+            self._next()
+            self._eat_name("SEPARATOR")
+            token = self._next()
+            if token.kind != "OP" or token.text != "=":
+                raise SparqlParseError(
+                    "expected '=' after SEPARATOR", token.line, token.column
+                )
+            sep_token = self._next()
+            if sep_token.kind != "STRING":
+                raise SparqlParseError(
+                    "expected string separator", sep_token.line, sep_token.column
+                )
+            separator = _unescape(sep_token.text[1:-1])
+        self._eat_punct(")")
+        return ast.Aggregate(name, expr, distinct, separator)
+
+
+def parse_query(text: str):
+    """Parse SPARQL text into an AST (SelectQuery / AskQuery / ConstructQuery)."""
+    return _Parser(text).parse()

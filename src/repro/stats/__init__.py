@@ -1,0 +1,37 @@
+"""Quality analytics over RDF datasets (the category-B queries of §3.2.3).
+
+The dissertation distinguishes *domain-specific* analytic queries
+(category A — the HIFUN/faceted pipeline) from *quality-related*
+analytics over datasets themselves (category B): coverage, element
+distributions, power-law detection, VoID-style statistics (the C4/C5
+related-work space of Tables 3.3/3.4).  This package provides the B
+side:
+
+* :func:`repro.stats.profile.profile_graph` — dataset statistics
+  (triples, distinct subjects/predicates/objects, classes, properties,
+  per-class and per-property usage, literal/IRI ratios);
+* :func:`repro.stats.profile.degree_distribution` and
+  :func:`repro.stats.profile.power_law_fit` — the §3.3.6 distribution
+  analyses (is the property-usage/degree distribution power-law-ish?);
+* :func:`repro.stats.void_export.void_graph` — publish the statistics
+  as RDF with the real VoID vocabulary (the C4 practice, Table 3.3).
+"""
+
+from repro.stats.profile import (
+    DatasetProfile,
+    PowerLawFit,
+    degree_distribution,
+    power_law_fit,
+    profile_graph,
+)
+from repro.stats.void_export import VOID, void_graph
+
+__all__ = [
+    "DatasetProfile",
+    "PowerLawFit",
+    "profile_graph",
+    "degree_distribution",
+    "power_law_fit",
+    "void_graph",
+    "VOID",
+]

@@ -1,0 +1,28 @@
+"""The related-work survey catalog (Chapter 3).
+
+A structured, in-code catalog of the works surveyed by the dissertation
+(Tables 3.1–3.4), the per-category counts of Fig. 3.2, the
+publication-year distribution of Fig. 3.3, and the functionality
+comparison of Table 3.5.  The benchmarks regenerate those figures/tables
+from this catalog.
+"""
+
+from repro.survey.catalog import (
+    CATEGORIES,
+    SURVEYED_WORKS,
+    SYSTEM_COMPARISON,
+    SurveyedWork,
+    SystemComparison,
+    works_per_category,
+    works_per_year,
+)
+
+__all__ = [
+    "SurveyedWork",
+    "SystemComparison",
+    "SURVEYED_WORKS",
+    "SYSTEM_COMPARISON",
+    "CATEGORIES",
+    "works_per_category",
+    "works_per_year",
+]

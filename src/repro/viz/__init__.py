@@ -1,0 +1,44 @@
+"""Visualization of analytic results (§5.1 *Answer Frame*, §6.3).
+
+* :mod:`repro.viz.table` — tabular rendering of answer frames;
+* :mod:`repro.viz.charts` — 2D chart *series* extraction plus terminal
+  (ASCII) bar/column charts for the examples;
+* :mod:`repro.viz.spiral` — the spiral-like placement algorithm of
+  Tzitzikas, Papadaki & Chatzakis (JIIS 2022; publication [116] of the
+  dissertation): values placed on a square spiral, largest at the
+  center, sizes proportional to values, bounded drawing space;
+* :mod:`repro.viz.city` — the 3D "urban area" metaphor of §6.3: each
+  group becomes a multi-storey cube whose segment volumes are
+  proportional to the feature values.
+"""
+
+from repro.viz.table import render_table
+from repro.viz.charts import (
+    ChartSeries,
+    bar_chart,
+    chart_series,
+    line_chart,
+    pie_chart,
+)
+from repro.viz.spiral import (
+    PlacedCube,
+    SpiralLayout,
+    spiral_layout,
+    spiral_layout_3d,
+)
+from repro.viz.city import CityLayout, city_layout
+
+__all__ = [
+    "render_table",
+    "bar_chart",
+    "pie_chart",
+    "line_chart",
+    "chart_series",
+    "ChartSeries",
+    "SpiralLayout",
+    "spiral_layout",
+    "spiral_layout_3d",
+    "PlacedCube",
+    "CityLayout",
+    "city_layout",
+]

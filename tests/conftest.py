@@ -1,0 +1,26 @@
+"""Shared fixtures: the bundled datasets, sessions and endpoints."""
+
+import pytest
+
+from repro.datasets import invoices_graph, products_graph
+from repro.facets import FacetedAnalyticsSession, FacetedSession
+
+
+@pytest.fixture()
+def products():
+    return products_graph()
+
+
+@pytest.fixture()
+def invoices():
+    return invoices_graph()
+
+
+@pytest.fixture()
+def session(products):
+    return FacetedSession(products)
+
+
+@pytest.fixture()
+def analytics(products):
+    return FacetedAnalyticsSession(products)

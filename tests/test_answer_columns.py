@@ -1,0 +1,101 @@
+"""Tests of the §5.1 'Extra Columns' actions on the answer frame."""
+
+import pytest
+
+from repro.rdf.namespace import EX
+from repro.datasets import invoices_graph
+from repro.facets import FacetedAnalyticsSession
+
+
+def build_frame(ops=("SUM",), with_count=False):
+    session = FacetedAnalyticsSession(invoices_graph())
+    session.select_class(EX.Invoice)
+    session.group_by((EX.takesPlaceAt,))
+    session.group_by((EX.delivers, EX.brand))
+    session.measure((EX.inQuantity,), ops)
+    if with_count:
+        session.with_count()
+    return session.run()
+
+
+def single_group_frame(ops=("SUM",), with_count=False):
+    session = FacetedAnalyticsSession(invoices_graph())
+    session.select_class(EX.Invoice)
+    session.group_by((EX.takesPlaceAt,))
+    session.measure((EX.inQuantity,), ops)
+    if with_count:
+        session.with_count()
+    return session.run()
+
+
+class TestSelectColumns:
+    def test_projection_keeps_order(self):
+        frame = build_frame()
+        projected = frame.select_columns(["sum_inQuantity", "takesPlaceAt"])
+        assert projected.columns == ("sum_inQuantity", "takesPlaceAt")
+        assert len(projected) == len(frame)
+
+    def test_unknown_column_raises(self):
+        frame = build_frame()
+        with pytest.raises(ValueError):
+            frame.select_columns(["nope"])
+
+
+class TestDropGroupingColumn:
+    def test_sum_reaggregates_to_coarser_query(self):
+        fine = build_frame()
+        coarse = fine.drop_grouping_column("delivers_brand")
+        expected = single_group_frame()
+        assert coarse.columns == expected.columns
+        assert [tuple(r) for r in coarse.rows] == [tuple(r) for r in expected.rows]
+
+    def test_min_max_reaggregate(self):
+        fine = build_frame(("MIN", "MAX"))
+        coarse = fine.drop_grouping_column("delivers_brand")
+        expected = single_group_frame(("MIN", "MAX"))
+        assert [tuple(r) for r in coarse.rows] == [tuple(r) for r in expected.rows]
+
+    def test_count_column_merges(self):
+        fine = build_frame(("SUM",), with_count=True)
+        coarse = fine.drop_grouping_column("delivers_brand")
+        expected = single_group_frame(("SUM",), with_count=True)
+        assert [tuple(r) for r in coarse.rows] == [tuple(r) for r in expected.rows]
+
+    def test_avg_with_sum_and_count(self):
+        fine = build_frame(("AVG", "SUM", "COUNT"))
+        coarse = fine.drop_grouping_column("delivers_brand")
+        expected = single_group_frame(("AVG", "SUM", "COUNT"))
+        for got, want in zip(coarse.rows, expected.rows):
+            assert got[0] == want[0]
+            assert float(got[1].to_python()) == pytest.approx(
+                float(want[1].to_python())
+            )
+            assert got[2:] == want[2:]
+
+    def test_avg_alone_rejected(self):
+        fine = build_frame(("AVG",))
+        with pytest.raises(ValueError):
+            fine.drop_grouping_column("delivers_brand")
+
+    def test_avg_with_count_info_allowed(self):
+        fine = build_frame(("AVG", "SUM"), with_count=True)
+        coarse = fine.drop_grouping_column("delivers_brand")
+        expected = single_group_frame(("AVG", "SUM"), with_count=True)
+        for got, want in zip(coarse.rows, expected.rows):
+            assert float(got[1].to_python()) == pytest.approx(
+                float(want[1].to_python())
+            )
+
+    def test_non_grouping_column_rejected(self):
+        fine = build_frame()
+        with pytest.raises(ValueError):
+            fine.drop_grouping_column("sum_inQuantity")
+
+    def test_native_frame_without_translation_rejected(self):
+        session = FacetedAnalyticsSession(invoices_graph())
+        session.select_class(EX.Invoice)
+        session.group_by((EX.takesPlaceAt,))
+        session.measure((EX.inQuantity,), "SUM")
+        native = session.run(engine="native")
+        with pytest.raises(ValueError):
+            native.drop_grouping_column("takesPlaceAt")

@@ -1,0 +1,74 @@
+"""Tests of AnalysisContext.evaluate/translate and the remote-endpoint
+facet engine (the 'any remote endpoint' claim)."""
+
+import pytest
+
+from repro.rdf.namespace import EX
+from repro.rdf.rdfs import RDFSClosure
+from repro.datasets import invoices_graph, products_graph
+from repro.endpoint import NetworkModel, RemoteEndpointSimulator
+from repro.facets import FacetedSession, SparqlFacetEngine
+from repro.facets.model import PropertyRef
+from repro.hifun import AnalysisContext, Attribute, HifunQuery
+from repro.sparql import query as sparql
+
+
+class TestContextEvaluation:
+    def test_evaluate_over_class_root(self):
+        ctx = AnalysisContext(invoices_graph(), EX.Invoice)
+        answer = ctx.evaluate(
+            HifunQuery(Attribute(EX.takesPlaceAt), Attribute(EX.inQuantity), "SUM")
+        )
+        assert answer[EX.branch1]["SUM"].to_python() == 300
+
+    def test_evaluate_over_explicit_items(self):
+        ctx = AnalysisContext(invoices_graph(), [EX.i1, EX.i2, EX.i3])
+        answer = ctx.evaluate(
+            HifunQuery(Attribute(EX.takesPlaceAt), Attribute(EX.inQuantity), "SUM")
+        )
+        assert answer[EX.branch1]["SUM"].to_python() == 300
+        assert answer[EX.branch2]["SUM"].to_python() == 200
+
+    def test_translate_requires_class_root(self):
+        ctx = AnalysisContext(invoices_graph(), [EX.i1])
+        with pytest.raises(ValueError):
+            ctx.translate(HifunQuery(Attribute(EX.takesPlaceAt), None, "COUNT"))
+
+    def test_translate_matches_evaluate(self):
+        g = invoices_graph()
+        ctx = AnalysisContext(g, EX.Invoice)
+        q = HifunQuery(Attribute(EX.takesPlaceAt), Attribute(EX.inQuantity), "SUM")
+        translation = ctx.translate(q)
+        translated = sorted(
+            tuple(row.get(c) for c in translation.answer_columns)
+            for row in sparql(g, translation.text)
+        )
+        assert translated == sorted(ctx.evaluate(q).rows())
+
+
+class TestRemoteFacetEngine:
+    """The SPARQL-only engine against a latency-simulated *remote*
+    endpoint: the interaction model without any local index access."""
+
+    def test_facets_over_remote_endpoint(self):
+        closed = RDFSClosure(products_graph()).graph()
+        endpoint = RemoteEndpointSimulator(closed, NetworkModel.offpeak(), seed=2)
+        engine = SparqlFacetEngine(closed, endpoint=endpoint)
+        session = FacetedSession(closed, closed=True)
+        session.select_class(EX.Laptop)
+        facet = engine.facet(session.extension, (PropertyRef(EX.manufacturer),))
+        assert {str(v) for v in facet.values} == {"DELL (2)", "Lenovo (1)"}
+        # The endpoint recorded real (virtual) network time per query.
+        assert endpoint.history
+        assert all(s.network_seconds > 0 for s in endpoint.history)
+
+    def test_restrict_over_remote_endpoint(self):
+        closed = RDFSClosure(products_graph()).graph()
+        endpoint = RemoteEndpointSimulator(closed, NetworkModel.peak(), seed=3)
+        engine = SparqlFacetEngine(closed, endpoint=endpoint)
+        result = engine.restrict(
+            {EX.laptop1, EX.laptop2, EX.laptop3},
+            (PropertyRef(EX.manufacturer),),
+            EX.DELL,
+        )
+        assert result == {EX.laptop1, EX.laptop2}

@@ -1,0 +1,120 @@
+"""Tests of CSV statistical-data import (dissertation system 1b)."""
+
+import datetime
+
+import pytest
+
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import Literal
+from repro.datasets.csv_import import (
+    STAT,
+    STAT_ROW,
+    CsvImportError,
+    column_property,
+    graph_from_csv,
+    parse_cell,
+)
+from repro.facets import FacetedAnalyticsSession
+
+CSV = """country,year,cases,rate
+Greece,2021,1500,3.5
+Greece,2022,900,2.1
+Italy,2021,8000,4.4
+Italy,2022,5000,2.9
+"""
+
+
+class TestCellParsing:
+    def test_integer(self):
+        assert parse_cell("42") == Literal.of(42)
+
+    def test_float(self):
+        assert parse_cell("3.5") == Literal.of(3.5)
+
+    def test_date(self):
+        assert parse_cell("2021-06-10") == Literal.of(datetime.date(2021, 6, 10))
+
+    def test_boolean(self):
+        assert parse_cell("true") == Literal.of(True)
+        assert parse_cell("False") == Literal.of(False)
+
+    def test_string(self):
+        assert parse_cell("Greece") == Literal.of("Greece")
+
+    def test_empty_is_none(self):
+        assert parse_cell("   ") is None
+
+
+class TestImport:
+    def test_shape(self):
+        g = graph_from_csv(CSV)
+        rows = set(g.subjects(RDF.type, STAT_ROW))
+        assert len(rows) == 4
+        # 4 rows × 4 cells + 4 rows typing + 4 property declarations
+        assert len(g) == 4 * 4 + 4 + 4
+
+    def test_typed_values(self):
+        g = graph_from_csv(CSV)
+        row1 = STAT.term("row1")
+        assert g.value(row1, column_property("country"), None) == Literal.of("Greece")
+        assert g.value(row1, column_property("year"), None) == Literal.of(2021)
+        assert g.value(row1, column_property("rate"), None) == Literal.of(3.5)
+
+    def test_header_sanitization(self):
+        g = graph_from_csv("a b,c-d,2x\n1,2,3\n")
+        predicates = {p.local_name() for p in g.all_predicates()} - {"type"}
+        assert predicates == {"a_b", "c_d", "c_2x"}
+
+    def test_duplicate_headers_disambiguated(self):
+        g = graph_from_csv("v,v\n1,2\n")
+        predicates = {p.local_name() for p in g.all_predicates()} - {"type"}
+        assert predicates == {"v", "v2"}
+
+    def test_missing_cells_skipped(self):
+        g = graph_from_csv("a,b\n1,\n")
+        row1 = STAT.term("row1")
+        assert g.value(row1, column_property("a"), None) == Literal.of(1)
+        assert g.value(row1, column_property("b"), None) is None
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CsvImportError):
+            graph_from_csv("")
+        with pytest.raises(CsvImportError):
+            graph_from_csv("only,a,header\n")
+
+    def test_too_wide_row_rejected(self):
+        with pytest.raises(CsvImportError):
+            graph_from_csv("a,b\n1,2,3\n")
+
+    def test_custom_delimiter(self):
+        g = graph_from_csv("a;b\n1;2\n", delimiter=";")
+        assert len(set(g.subjects(RDF.type, STAT_ROW))) == 1
+
+
+class TestImportedDataIsAnalyzable:
+    def test_faceted_analytics_over_csv(self):
+        """The 1b workflow: upload CSV → analyze with clicks."""
+        session = FacetedAnalyticsSession(graph_from_csv(CSV))
+        session.select_class(STAT_ROW)
+        assert len(session.extension) == 4
+        session.group_by((column_property("country"),))
+        session.measure((column_property("cases"),), "SUM")
+        frame = session.run()
+        totals = {row[0].lexical: row[1].to_python() for row in frame.rows}
+        assert totals == {"Greece": 2400, "Italy": 13000}
+
+    def test_range_filter_over_csv(self):
+        session = FacetedAnalyticsSession(graph_from_csv(CSV))
+        session.select_class(STAT_ROW)
+        session.select_range((column_property("year"),), "=", Literal.of(2022))
+        assert len(session.extension) == 2
+
+    def test_city_layout_over_csv(self):
+        from repro.viz import city_layout
+
+        session = FacetedAnalyticsSession(graph_from_csv(CSV))
+        session.select_class(STAT_ROW)
+        session.group_by((column_property("country"),))
+        session.measure((column_property("cases"),), "SUM")
+        city = city_layout(session.run())
+        assert len(city) == 2

@@ -1,0 +1,128 @@
+"""Tests of the evaluation tasks (implementability, §8.2), the simulated
+user study (§8.1), and the survey catalog (Chapter 3)."""
+
+import pytest
+
+from repro.datasets import products_graph
+from repro.evaluation import (
+    EVALUATION_TASKS,
+    CohortConfig,
+    run_user_study,
+)
+from repro.facets import FacetedAnalyticsSession
+from repro.survey import (
+    CATEGORIES,
+    SURVEYED_WORKS,
+    SYSTEM_COMPARISON,
+    works_per_category,
+    works_per_year,
+)
+
+
+class TestImplementability:
+    """§8.2: every evaluation task must be executable by the system."""
+
+    @pytest.mark.parametrize("task", EVALUATION_TASKS, ids=lambda t: t.task_id)
+    def test_task_runs_and_produces_output(self, task):
+        session = FacetedAnalyticsSession(products_graph())
+        result = task.run(session)
+        assert result is not None
+        assert len(result) > 0
+
+    def test_eight_tasks_with_increasing_difficulty(self):
+        assert len(EVALUATION_TASKS) == 8
+        difficulties = [t.difficulty for t in EVALUATION_TASKS]
+        assert difficulties == sorted(difficulties)
+        assert difficulties[0] == 1 and difficulties[-1] == 5
+
+    def test_task_t4_answer_value(self):
+        session = FacetedAnalyticsSession(products_graph())
+        frame = EVALUATION_TASKS[3].run(session)
+        assert frame.rows[0][0].to_python() == pytest.approx(
+            (1000 + 900 + 820) / 3
+        )
+
+
+class TestUserStudy:
+    def test_reproducible_by_seed(self):
+        a, b = run_user_study(seed=11), run_user_study(seed=11)
+        assert a.per_task() == b.per_task()
+        assert run_user_study(seed=12).per_task() != a.per_task()
+
+    def test_totals_in_paper_range(self):
+        completion, rating = run_user_study().totals()
+        assert 80.0 <= completion <= 100.0
+        assert 3.5 <= rating <= 5.0
+
+    def test_difficulty_trend_on_ratings(self):
+        study = run_user_study()
+        rows = study.per_task()
+        easy = sum(r for _, _, r in rows[:3]) / 3
+        hard = sum(r for _, _, r in rows[-3:]) / 3
+        assert easy > hard
+
+    def test_expert_cohort_ahead(self):
+        study = run_user_study()
+        it = study.per_cohort_task("IT background")
+        non_it = study.per_cohort_task("no IT background")
+        assert sum(r for _, _, r in it) > sum(r for _, _, r in non_it)
+
+    def test_per_task_has_all_tasks(self):
+        study = run_user_study()
+        assert [t for t, _, _ in study.per_task()] == [
+            t.task_id for t in EVALUATION_TASKS
+        ]
+
+    def test_cohort_validation(self):
+        with pytest.raises(ValueError):
+            CohortConfig("bad", 10, 1.5)
+        with pytest.raises(ValueError):
+            CohortConfig("bad", 0, 0.5)
+
+    def test_completion_rates_bounded(self):
+        study = run_user_study()
+        for outcome in study.outcomes:
+            assert 0.0 <= outcome.completion_rate <= 1.0
+            assert 1.0 <= outcome.mean_rating <= 5.0
+
+
+class TestSurveyCatalog:
+    def test_fig_3_2_counts(self):
+        counts = works_per_category()
+        assert counts["C1"] == 11  # Table 3.1
+        assert counts["C2"] == 10  # Table 3.2
+        assert counts["C4"] == 8   # Table 3.3
+        assert counts["C5"] == 8   # Table 3.4
+        assert set(counts) == set(CATEGORIES)
+
+    def test_fig_3_3_year_range(self):
+        years = works_per_year()
+        assert min(years) == 2008 and max(years) == 2022
+        assert sum(years.values()) == len(SURVEYED_WORKS)
+
+    def test_majority_published_2013_2017(self):
+        """The paper's observation on Fig. 3.3."""
+        years = works_per_year()
+        window = sum(n for y, n in years.items() if 2013 <= y <= 2017)
+        assert window > len(SURVEYED_WORKS) / 3
+
+    def test_all_works_categorized(self):
+        assert all(w.category in CATEGORIES for w in SURVEYED_WORKS)
+
+    def test_table_3_5_our_system_row(self):
+        ours = SYSTEM_COMPARISON[-1]
+        assert ours.applicability == "ANY"
+        assert ours.analytic_basic and ours.analytic_having
+        assert ours.visualization and ours.running_system and ours.evaluation
+
+    def test_table_3_5_only_we_have_having_and_evaluation(self):
+        rows = [
+            s for s in SYSTEM_COMPARISON
+            if s.analytic_having and s.evaluation and s.running_system
+        ]
+        assert [s.system for s in rows] == ["RDF-Analytics (this work)"]
+
+    def test_visualization_types_only_when_offered(self):
+        for work in SURVEYED_WORKS:
+            if work.visualization_types:
+                assert work.offers_visualization

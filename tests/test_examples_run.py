@@ -1,0 +1,36 @@
+"""Smoke test: every bundled example must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "products_analytics.py",
+        "invoices_hifun.py",
+        "faceted_exploration.py",
+        "nested_having.py",
+        "olap_cube.py",
+        "statistical_3d.py",
+    } <= set(EXAMPLES)

@@ -1,0 +1,139 @@
+"""Unit tests of intentions and their SPARQL compilation (§5.5)."""
+
+import pytest
+
+from repro.rdf.namespace import EX, RDF
+from repro.rdf.terms import Literal
+from repro.datasets import products_graph
+from repro.facets.intentions import (
+    ClassCondition,
+    Intention,
+    PathRangeCondition,
+    PathValueCondition,
+    PathValueSetCondition,
+)
+from repro.facets.model import PropertyRef
+from repro.sparql import query as sparql
+
+manufacturer = (PropertyRef(EX.manufacturer),)
+maker_origin = (PropertyRef(EX.manufacturer), PropertyRef(EX.origin))
+
+
+class TestConstruction:
+    def test_with_class_sets_root_first(self):
+        intent = Intention().with_class(EX.Laptop)
+        assert intent.root_class == EX.Laptop
+        assert intent.conditions == ()
+
+    def test_second_class_becomes_condition(self):
+        intent = Intention().with_class(EX.Laptop).with_class(EX.Product)
+        assert intent.root_class == EX.Laptop
+        assert intent.conditions == (ClassCondition(EX.Product),)
+
+    def test_with_condition_appends(self):
+        cond = PathValueCondition(manufacturer, EX.DELL)
+        intent = Intention().with_condition(cond)
+        assert intent.conditions == (cond,)
+
+    def test_immutability(self):
+        base = Intention()
+        extended = base.with_class(EX.Laptop)
+        assert base.root_class is None and extended.root_class == EX.Laptop
+
+
+class TestSparqlCompilation:
+    def test_default_initial_state(self):
+        text = Intention().to_sparql()
+        assert "NOT IN" in text and "rdf-schema#Class" in text
+
+    def test_root_class_pattern(self):
+        text = Intention(root_class=EX.Laptop).to_sparql()
+        assert EX.Laptop.n3() in text
+        assert "SELECT DISTINCT ?x" in text
+
+    def test_seeds_become_values(self):
+        intent = Intention(seeds=(EX.laptop1, EX.laptop2))
+        text = intent.to_sparql()
+        assert "VALUES ?x" in text
+        assert EX.laptop1.n3() in text
+
+    def test_path_value_condition_chains(self):
+        intent = Intention(root_class=EX.Laptop).with_condition(
+            PathValueCondition(maker_origin, EX.US)
+        )
+        text = intent.to_sparql()
+        assert f"?x {EX.manufacturer.n3()} ?v1 ." in text
+        assert f"?v1 {EX.origin.n3()} {EX.US.n3()} ." in text
+
+    def test_range_condition_filter(self):
+        intent = Intention(root_class=EX.Laptop).with_condition(
+            PathRangeCondition((PropertyRef(EX.price),), ">=", Literal.of(900))
+        )
+        text = intent.to_sparql()
+        assert "FILTER((?v1 >=" in text
+
+    def test_value_set_condition_values_clause(self):
+        intent = Intention(root_class=EX.Laptop).with_condition(
+            PathValueSetCondition(
+                (PropertyRef(EX.hardDrive),), (EX.SSD1, EX.SSD2)
+            )
+        )
+        text = intent.to_sparql()
+        assert "VALUES ?v1" in text
+
+    def test_inverse_step_reverses_pattern(self):
+        intent = Intention(root_class=EX.Company).with_condition(
+            PathValueCondition(
+                (PropertyRef(EX.manufacturer, inverse=True),), EX.laptop1
+            )
+        )
+        text = intent.to_sparql()
+        assert f"{EX.laptop1.n3()} {EX.manufacturer.n3()} ?x ." in text
+
+    def test_fresh_variables_do_not_collide(self):
+        intent = (
+            Intention(root_class=EX.Laptop)
+            .with_condition(PathValueCondition(maker_origin, EX.US))
+            .with_condition(
+                PathRangeCondition((PropertyRef(EX.price),), ">", Literal.of(1))
+            )
+        )
+        text = intent.to_sparql()
+        # The value condition consumes ?v1 (its tail is the constant),
+        # the range condition gets a distinct ?v2.
+        assert f"?x {EX.price.n3()} ?v2 ." in text
+        assert "FILTER((?v2 >" in text
+
+    def test_compiled_intention_evaluates(self):
+        from repro.rdf.rdfs import RDFSClosure
+
+        graph = RDFSClosure(products_graph()).graph()
+        intent = Intention(root_class=EX.Laptop).with_condition(
+            PathValueCondition(maker_origin, EX.US)
+        )
+        result = sparql(graph, intent.to_sparql())
+        assert {row["x"] for row in result} == {EX.laptop1, EX.laptop2}
+
+
+class TestDescriptions:
+    def test_describe_lists_everything(self):
+        intent = (
+            Intention(root_class=EX.Laptop)
+            .with_condition(PathValueCondition(manufacturer, EX.DELL))
+            .with_condition(
+                PathRangeCondition((PropertyRef(EX.price),), ">", Literal.of(1))
+            )
+        )
+        text = intent.describe()
+        assert "Laptop" in text and "DELL" in text and ">" in text
+
+    def test_empty_describe(self):
+        assert Intention().describe() == "all objects"
+
+    def test_condition_str_forms(self):
+        assert "manufacturer=DELL" in str(
+            PathValueCondition(manufacturer, EX.DELL)
+        )
+        assert "in {2}" in str(
+            PathValueSetCondition(manufacturer, (EX.DELL, EX.Lenovo))
+        )

@@ -1,0 +1,105 @@
+"""Tests of the core FS operations: Restrict, Joins, path restriction."""
+
+import pytest
+
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Literal
+from repro.datasets import products_graph
+from repro.facets.model import (
+    PropertyRef,
+    joins,
+    path_joins,
+    restrict,
+    restrict_by_path,
+    restrict_to_class,
+)
+from repro.rdf.rdfs import RDFSClosure
+
+
+@pytest.fixture(scope="module")
+def g():
+    return RDFSClosure(products_graph()).graph()
+
+
+LAPTOPS = {EX.laptop1, EX.laptop2, EX.laptop3}
+manufacturer = PropertyRef(EX.manufacturer)
+hard_drive = PropertyRef(EX.hardDrive)
+origin = PropertyRef(EX.origin)
+
+
+class TestRestrict:
+    def test_single_value(self, g):
+        assert restrict(g, LAPTOPS, manufacturer, EX.DELL) == {
+            EX.laptop1, EX.laptop2,
+        }
+
+    def test_value_set(self, g):
+        result = restrict(g, LAPTOPS, manufacturer, {EX.DELL, EX.Lenovo})
+        assert result == LAPTOPS
+
+    def test_no_match(self, g):
+        assert restrict(g, LAPTOPS, manufacturer, EX.Maxtor) == set()
+
+    def test_class_restriction(self, g):
+        drives = {EX.SSD1, EX.SSD2, EX.NVMe1}
+        assert restrict_to_class(g, drives, EX.SSD) == {EX.SSD1, EX.SSD2}
+
+    def test_inverse_property(self, g):
+        companies = {EX.DELL, EX.Lenovo, EX.Maxtor}
+        inv = PropertyRef(EX.manufacturer, inverse=True)
+        assert restrict(g, companies, inv, EX.laptop1) == {EX.DELL}
+
+
+class TestJoins:
+    def test_forward(self, g):
+        assert joins(g, LAPTOPS, manufacturer) == {EX.DELL, EX.Lenovo}
+
+    def test_inverse(self, g):
+        inv = PropertyRef(EX.manufacturer, inverse=True)
+        result = joins(g, {EX.DELL}, inv)
+        assert result == {EX.laptop1, EX.laptop2}
+
+    def test_literals_have_no_outgoing_edges(self, g):
+        assert joins(g, {Literal.of(5)}, manufacturer) == set()
+
+    def test_path_joins_marker_sets(self, g):
+        markers = path_joins(g, LAPTOPS, (hard_drive, manufacturer, origin))
+        assert markers[0] == {EX.SSD1, EX.SSD2, EX.NVMe1}
+        assert markers[1] == {EX.Maxtor, EX.AVDElectronics}
+        assert markers[2] == {EX.Singapore, EX.US}
+
+
+class TestPathRestriction:
+    def test_eq_5_1_backward_propagation(self, g):
+        """Selecting Singapore at the end of hardDrive▷manufacturer▷origin
+        keeps only the laptops whose drive maker is in Singapore."""
+        result = restrict_by_path(
+            g, LAPTOPS, (hard_drive, manufacturer, origin), EX.Singapore
+        )
+        assert result == {EX.laptop1, EX.laptop3}  # Maxtor drives
+
+    def test_single_step_path(self, g):
+        result = restrict_by_path(g, LAPTOPS, (manufacturer,), EX.Lenovo)
+        assert result == {EX.laptop3}
+
+    def test_value_set_at_path_end(self, g):
+        result = restrict_by_path(
+            g, LAPTOPS, (hard_drive, manufacturer), {EX.AVDElectronics}
+        )
+        assert result == {EX.laptop2}
+
+    def test_no_match_empty(self, g):
+        result = restrict_by_path(g, LAPTOPS, (manufacturer, origin), EX.Asia)
+        assert result == set()
+
+    def test_restriction_only_via_reachable_chain(self, g):
+        """An element of the final marker set reached from *other* items
+        must not leak extra extension members (Eq. 5.1 uses the
+        intermediate marker sets)."""
+        # US is origin of both DELL (laptop manufacturer) and
+        # AVDElectronics (drive maker); through the drive path only
+        # laptop2 qualifies.
+        result = restrict_by_path(
+            g, LAPTOPS, (hard_drive, manufacturer, origin), EX.US
+        )
+        assert result == {EX.laptop2}

@@ -1,0 +1,148 @@
+"""Tests of the §7.1 expressiveness planner: HIFUN query → click script.
+
+The central theorem-as-test: for every expressible query, executing the
+generated click script yields the same answer as evaluating the query
+directly (translation + engine).
+"""
+
+import pytest
+
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Literal
+from repro.datasets import invoices_graph, products_graph
+from repro.facets import FacetedAnalyticsSession
+from repro.facets.planner import (
+    InexpressibleQueryError,
+    execute_plan,
+    plan_interaction,
+)
+from repro.hifun import (
+    Attribute,
+    HifunQuery,
+    Restriction,
+    ResultRestriction,
+    compose,
+    evaluate_hifun,
+    pair,
+)
+from repro.hifun.attributes import Derived
+
+takes = Attribute(EX.takesPlaceAt)
+qty = Attribute(EX.inQuantity)
+delivers = Attribute(EX.delivers)
+brand = Attribute(EX.brand)
+has_date = Attribute(EX.hasDate)
+
+
+def direct_rows(graph, query, root_class):
+    return sorted(evaluate_hifun(graph, query, root_class=root_class).rows())
+
+
+def planned_rows(graph, query, root_class):
+    plan = plan_interaction(query, root_class)
+    session = FacetedAnalyticsSession(graph)
+    frame = execute_plan(session, plan)
+    return sorted(tuple(row) for row in frame.rows)
+
+
+EXPRESSIBLE = (
+    HifunQuery(takes, qty, "SUM"),
+    HifunQuery(compose(brand, delivers), qty, "AVG"),
+    HifunQuery(pair(takes, delivers), qty, ("SUM", "MAX")),
+    HifunQuery(Derived("MONTH", has_date), qty, "SUM"),
+    HifunQuery(takes, None, "COUNT"),
+    HifunQuery(None, qty, "AVG"),
+    HifunQuery(
+        takes, qty, "SUM",
+        grouping_restrictions=(Restriction(takes, "=", EX.branch1),),
+    ),
+    HifunQuery(
+        takes, qty, "SUM",
+        measuring_restrictions=(Restriction(qty, ">=", Literal.of(200)),),
+    ),
+    HifunQuery(
+        pair(takes, compose(brand, delivers)), qty, "SUM",
+        grouping_restrictions=(Restriction(delivers, "=", EX.prod1),),
+    ),
+)
+
+
+class TestExpressibleQueries:
+    @pytest.mark.parametrize("query", EXPRESSIBLE, ids=str)
+    def test_plan_reproduces_direct_evaluation(self, query):
+        graph = invoices_graph()
+        assert planned_rows(graph, query, EX.Invoice) == direct_rows(
+            graph, query, EX.Invoice
+        )
+
+    def test_having_query_via_reload(self):
+        graph = invoices_graph()
+        query = HifunQuery(
+            takes, qty, "SUM",
+            result_restrictions=(ResultRestriction("SUM", ">", Literal.of(300)),),
+        )
+        assert planned_rows(graph, query, EX.Invoice) == direct_rows(
+            graph, query, EX.Invoice
+        )
+
+    def test_plan_actions_shape(self):
+        query = HifunQuery(
+            pair(takes, Derived("MONTH", has_date)), qty, "SUM",
+            grouping_restrictions=(Restriction(takes, "=", EX.branch1),),
+            result_restrictions=(ResultRestriction("SUM", ">", Literal.of(1)),),
+        )
+        plan = plan_interaction(query, EX.Invoice)
+        kinds = [a.kind for a in plan.actions]
+        assert kinds == [
+            "select_class", "select_value", "group_by", "group_by",
+            "measure", "run", "explore", "filter_answer",
+        ]
+
+    def test_derived_grouping_uses_transformation_flag(self):
+        plan = plan_interaction(
+            HifunQuery(Derived("YEAR", has_date), qty, "SUM"), EX.Invoice
+        )
+        group = next(a for a in plan.actions if a.kind == "group_by")
+        assert group.derived == "YEAR"
+
+    def test_describe_is_human_readable(self):
+        plan = plan_interaction(HifunQuery(takes, qty, "SUM"), EX.Invoice)
+        text = plan.describe()
+        assert "press G" in text and "press Σ" in text and "run" in text
+
+
+class TestInexpressibleQueries:
+    def test_derived_restriction_needs_transformation(self):
+        query = HifunQuery(
+            takes, qty, "SUM",
+            grouping_restrictions=(
+                Restriction(Derived("MONTH", has_date), "=", Literal.of(1)),
+            ),
+        )
+        with pytest.raises(InexpressibleQueryError) as err:
+            plan_interaction(query, EX.Invoice)
+        assert "transformation" in str(err.value)
+
+    def test_derived_measure_needs_transformation(self):
+        query = HifunQuery(takes, Derived("MONTH", has_date), "SUM")
+        with pytest.raises(InexpressibleQueryError):
+            plan_interaction(query, EX.Invoice)
+
+
+class TestOnProductsKG:
+    def test_motivating_query_fragment(self):
+        graph = products_graph()
+        manufacturer = Attribute(EX.manufacturer)
+        origin = Attribute(EX.origin)
+        price = Attribute(EX.price)
+        usb = Attribute(EX.USBPorts)
+        query = HifunQuery(
+            manufacturer, price, "AVG",
+            grouping_restrictions=(
+                Restriction(compose(origin, manufacturer), "=", EX.US),
+                Restriction(usb, ">=", Literal.of(2)),
+            ),
+        )
+        assert planned_rows(graph, query, EX.Laptop) == direct_rows(
+            graph, query, EX.Laptop
+        )

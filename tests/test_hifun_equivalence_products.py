@@ -1,0 +1,119 @@
+"""Property-based HIFUN↔SPARQL equivalence over the *products* schema.
+
+Complements ``test_hifun_equivalence`` (invoices): this schema has
+deeper paths (laptop → drive → maker → country → continent), inverse
+attributes, and subclass/subproperty structure, so the strategies cover
+shapes the invoices schema cannot.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Literal
+from repro.datasets import SyntheticConfig, synthetic_graph
+from repro.hifun import (
+    Attribute,
+    HifunQuery,
+    Restriction,
+    compose,
+    evaluate_hifun,
+    pair,
+    translate,
+)
+from repro.hifun.attributes import Derived
+from repro.sparql import query as sparql
+
+manufacturer = Attribute(EX.manufacturer)
+origin = Attribute(EX.origin)
+located_at = Attribute(EX.locatedAt)
+price = Attribute(EX.price)
+usb = Attribute(EX.USBPorts)
+drive = Attribute(EX.hardDrive)
+release = Attribute(EX.releaseDate)
+inv_manufacturer = Attribute(EX.manufacturer, inverse=True)
+
+GROUPINGS = st.sampled_from(
+    [
+        manufacturer,
+        usb,
+        compose(origin, manufacturer),
+        compose(located_at, origin, manufacturer),
+        compose(origin, manufacturer, drive),       # 3-hop via the drive
+        pair(manufacturer, usb),
+        pair(compose(origin, manufacturer), Derived("YEAR", release)),
+        Derived("MONTH", release),
+    ]
+)
+MEASURES = st.sampled_from([price, usb, compose(price, drive)])
+OPERATIONS = st.sampled_from(["SUM", "AVG", "MIN", "MAX", "COUNT"])
+RESTRICTIONS = st.sampled_from(
+    [
+        (),
+        (Restriction(usb, ">=", Literal.of(2)),),
+        (Restriction(compose(origin, manufacturer), "=", EX.country0),),
+        (Restriction(price, "<", Literal.of(2000)),),
+        (
+            Restriction(usb, ">=", Literal.of(2)),
+            Restriction(price, ">=", Literal.of(800)),
+        ),
+    ]
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    grouping=GROUPINGS,
+    measuring=MEASURES,
+    operation=OPERATIONS,
+    restrictions=RESTRICTIONS,
+    seed=st.integers(min_value=0, max_value=2),
+)
+def test_products_equivalence(grouping, measuring, operation, restrictions, seed):
+    graph = synthetic_graph(SyntheticConfig(
+        laptops=30, companies=5, countries=4, continents=2,
+        drives_per_laptop_pool=8, seed=seed,
+    ))
+    query = HifunQuery(
+        grouping=grouping,
+        measuring=measuring,
+        operation=operation,
+        grouping_restrictions=restrictions,
+    )
+    translation = translate(query, root_class=EX.Laptop)
+    via_sparql = sorted(
+        tuple(row.get(c) for c in translation.answer_columns)
+        for row in sparql(graph, translation.text)
+    )
+    native = evaluate_hifun(graph, query, root_class=EX.Laptop)
+    assert via_sparql == sorted(native.rows()), translation.text
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=4))
+def test_inverse_attribute_equivalence(seed):
+    """Group companies by the laptops that point at them (inverse edge)."""
+    graph = synthetic_graph(SyntheticConfig(laptops=20, companies=4, seed=seed))
+    query = HifunQuery(compose(price, inv_manufacturer), None, "COUNT")
+    translation = translate(query, root_class=EX.Company)
+    via_sparql = sorted(
+        tuple(row.get(c) for c in translation.answer_columns)
+        for row in sparql(graph, translation.text)
+    )
+    native = evaluate_hifun(graph, query, root_class=EX.Company)
+    assert via_sparql == sorted(native.rows())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.permutations(["AVG", "SUM", "MIN", "MAX"]).map(lambda l: tuple(l[:3])),
+    seed=st.integers(min_value=0, max_value=2),
+)
+def test_operation_order_preserved(ops, seed):
+    """Multi-aggregate columns come back in declaration order."""
+    graph = synthetic_graph(SyntheticConfig(laptops=15, seed=seed))
+    query = HifunQuery(manufacturer, price, ops)
+    translation = translate(query, root_class=EX.Laptop)
+    assert [op for op, _ in translation.aggregate_aliases] == list(ops)
+    native = evaluate_hifun(graph, query, root_class=EX.Laptop)
+    assert native.operations == ops

@@ -1,0 +1,116 @@
+"""Tests of HIFUN query objects and restrictions."""
+
+import pytest
+
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Literal
+from repro.hifun import Attribute, HifunQuery, Restriction, ResultRestriction, pair
+
+
+@pytest.fixture()
+def attrs():
+    return Attribute(EX.takesPlaceAt), Attribute(EX.inQuantity)
+
+
+class TestRestriction:
+    def test_uri_equality(self, attrs):
+        takes, _ = attrs
+        r = Restriction(takes, "=", EX.branch1)
+        assert r.is_uri_equality
+
+    def test_uri_with_order_comparator_rejected(self, attrs):
+        takes, _ = attrs
+        with pytest.raises(ValueError):
+            Restriction(takes, ">", EX.branch1)
+
+    def test_literal_restriction(self, attrs):
+        _, qty = attrs
+        r = Restriction(qty, ">=", Literal.of(2))
+        assert not r.is_uri_equality
+
+    def test_unknown_comparator_rejected(self, attrs):
+        _, qty = attrs
+        with pytest.raises(ValueError):
+            Restriction(qty, "~", Literal.of(2))
+
+    def test_python_value_rejected(self, attrs):
+        _, qty = attrs
+        with pytest.raises(TypeError):
+            Restriction(qty, ">=", 2)
+
+    def test_pairing_rejected(self, attrs):
+        takes, qty = attrs
+        with pytest.raises(TypeError):
+            Restriction(pair(takes, qty), "=", EX.branch1)
+
+
+class TestResultRestriction:
+    def test_normalizes_operation(self):
+        rr = ResultRestriction("sum", ">", Literal.of(1000))
+        assert rr.operation == "SUM"
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            ResultRestriction("MEDIAN", ">", Literal.of(1))
+
+    def test_value_must_be_literal(self):
+        with pytest.raises(TypeError):
+            ResultRestriction("SUM", ">", EX.branch1)
+
+
+class TestHifunQuery:
+    def test_operations_normalized(self, attrs):
+        takes, qty = attrs
+        q = HifunQuery(takes, qty, "sum")
+        assert q.operations == ("SUM",)
+
+    def test_multiple_operations(self, attrs):
+        takes, qty = attrs
+        q = HifunQuery(takes, qty, ("avg", "SUM", "Max"))
+        assert q.operations == ("AVG", "SUM", "MAX")
+
+    def test_unknown_operation_rejected(self, attrs):
+        takes, qty = attrs
+        with pytest.raises(ValueError):
+            HifunQuery(takes, qty, "MEDIAN")
+
+    def test_identity_measure_only_counts(self, attrs):
+        takes, _ = attrs
+        HifunQuery(takes, None, "COUNT")  # fine
+        with pytest.raises(ValueError):
+            HifunQuery(takes, None, "SUM")
+
+    def test_result_restriction_must_match_operation(self, attrs):
+        takes, qty = attrs
+        with pytest.raises(ValueError):
+            HifunQuery(
+                takes, qty, "SUM",
+                result_restrictions=(ResultRestriction("AVG", ">", Literal.of(1)),),
+            )
+
+    def test_restricted_builder(self, attrs):
+        takes, qty = attrs
+        q = HifunQuery(takes, qty, "SUM")
+        q2 = q.restricted(grouping=[Restriction(takes, "=", EX.branch1)])
+        assert len(q2.grouping_restrictions) == 1
+        assert not q.grouping_restrictions  # original untouched
+
+    def test_grouping_paths(self, attrs):
+        takes, qty = attrs
+        q = HifunQuery(pair(takes, qty), None, "COUNT")
+        assert len(q.grouping_paths) == 2
+        assert HifunQuery(None, qty, "AVG").grouping_paths == ()
+
+    def test_str_rendering(self, attrs):
+        takes, qty = attrs
+        q = HifunQuery(
+            takes, qty, "SUM",
+            grouping_restrictions=(Restriction(takes, "=", EX.branch1),),
+            result_restrictions=(ResultRestriction("SUM", ">", Literal.of(10)),),
+        )
+        text = str(q)
+        assert "takesPlaceAt" in text and "SUM" in text and "ans[" in text
+
+    def test_empty_grouping_renders_epsilon(self, attrs):
+        _, qty = attrs
+        assert "ε" in str(HifunQuery(None, qty, "AVG"))

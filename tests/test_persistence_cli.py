@@ -1,0 +1,230 @@
+"""Tests of session persistence (save/replay) and the CLI shell."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.rdf.namespace import EX
+from repro.rdf.terms import IRI, Literal
+from repro.datasets import products_graph
+from repro.app import AnalyticsShell
+from repro.facets import FacetedAnalyticsSession
+from repro.facets.persistence import (
+    replay_session,
+    session_to_dict,
+    session_to_json,
+    term_from_dict,
+    term_to_dict,
+)
+
+
+class TestTermSerialization:
+    @pytest.mark.parametrize(
+        "term",
+        [
+            EX.laptop1,
+            Literal.of(5),
+            Literal.of(2.5),
+            Literal.of(datetime.date(2021, 6, 10)),
+            Literal("hi", "http://www.w3.org/2001/XMLSchema#string", "en"),
+        ],
+    )
+    def test_roundtrip(self, term):
+        assert term_from_dict(term_to_dict(term)) == term
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            term_from_dict({"kind": "alien", "value": "x"})
+
+
+class TestSessionPersistence:
+    def build(self, graph):
+        session = FacetedAnalyticsSession(graph)
+        session.select_class(EX.Laptop)
+        session.select_value((EX.manufacturer, EX.origin), EX.US)
+        session.select_range((EX.USBPorts,), ">=", Literal.of(2))
+        session.select_values((EX.hardDrive,), [EX.SSD1, EX.SSD2])
+        session.group_by((EX.manufacturer,))
+        session.group_by((EX.releaseDate,), derived="YEAR")
+        session.measure((EX.price,), ("AVG", "MAX"))
+        return session
+
+    def test_replay_restores_extension_and_answer(self):
+        graph = products_graph()
+        session = self.build(graph)
+        data = session_to_json(session)
+        restored = replay_session(products_graph(), data)
+        assert set(restored.extension) == set(session.extension)
+        original = session.run()
+        replayed = restored.run()
+        assert original.columns == replayed.columns
+        assert [tuple(r) for r in original.rows] == [tuple(r) for r in replayed.rows]
+
+    def test_json_is_plain_data(self):
+        session = self.build(products_graph())
+        parsed = json.loads(session_to_json(session))
+        assert parsed["version"] == 1
+        assert parsed["root_class"].endswith("Laptop")
+        assert len(parsed["groups"]) == 2
+
+    def test_seeded_session_roundtrip(self):
+        graph = products_graph()
+        session = FacetedAnalyticsSession(graph, results=[EX.laptop1, EX.laptop3])
+        session.count_items()
+        restored = replay_session(graph, session_to_dict(session))
+        assert set(restored.extension) == {EX.laptop1, EX.laptop3}
+
+    def test_count_measure_roundtrip(self):
+        graph = products_graph()
+        session = FacetedAnalyticsSession(graph)
+        session.select_class(EX.Laptop)
+        session.count_items()
+        restored = replay_session(graph, session_to_dict(session))
+        assert restored.measure_spec.path is None
+        assert restored.measure_spec.operations == ("COUNT",)
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError):
+            replay_session(products_graph(), {"version": 99})
+
+
+class TestShell:
+    @pytest.fixture()
+    def shell(self):
+        return AnalyticsShell(products_graph())
+
+    def test_classes_command(self, shell):
+        out = shell.execute("classes")
+        assert "Company (4)" in out and "Product (6)" in out
+
+    def test_full_analytic_flow(self, shell):
+        outputs = shell.run_script(
+            [
+                "select laptop",
+                "filter usbports >= 2",
+                "group manufacturer",
+                "measure price AVG",
+                "run",
+            ]
+        )
+        assert "3 objects" in outputs[0]
+        assert "avg_price" in outputs[-1]
+        assert "DELL" in outputs[-1]
+
+    def test_value_click_by_label(self, shell):
+        shell.execute("select laptop")
+        out = shell.execute("value manufacturer DELL")
+        assert "2 objects" in out
+
+    def test_path_expansion_command(self, shell):
+        shell.execute("select laptop")
+        out = shell.execute("expand hardDrive/manufacturer")
+        assert "Maxtor (2)" in out
+
+    def test_unknown_command_is_graceful(self, shell):
+        assert "unknown command" in shell.execute("frobnicate")
+
+    def test_bad_value_reports_options(self, shell):
+        shell.execute("select laptop")
+        out = shell.execute("value manufacturer Apple")
+        assert out.startswith("error:") and "DELL" in out
+
+    def test_empty_transition_is_reported_not_raised(self, shell):
+        shell.execute("select laptop")
+        out = shell.execute("filter price > 99999")
+        assert out.startswith("error:")
+
+    def test_sparql_and_intent(self, shell):
+        shell.run_script(["select laptop", "group manufacturer", "count"])
+        assert "GROUP BY" in shell.execute("sparql")
+        assert "Laptop" in shell.execute("intent")
+
+    def test_explore_after_run(self, shell):
+        shell.run_script(
+            ["select laptop", "group manufacturer", "measure price AVG", "run"]
+        )
+        out = shell.execute("explore")
+        assert "new dataset" in out
+        assert "avg_price" in shell.execute("facets")
+
+    def test_explore_without_run_is_error(self, shell):
+        assert shell.execute("explore").startswith("error:")
+
+    def test_save_load_roundtrip(self, shell):
+        shell.run_script(["select laptop", "value manufacturer DELL"])
+        saved = shell.execute("save")
+        fresh = AnalyticsShell(products_graph())
+        out = fresh.execute(f"load {saved}")
+        assert "restored" in out
+        assert len(fresh.session.extension) == 2
+
+    def test_search_restarts_session(self, shell):
+        out = shell.execute("search lenovo")
+        assert "results" in out
+        assert len(shell.session.extension) >= 1
+
+    def test_back_command(self, shell):
+        shell.execute("select laptop")
+        out = shell.execute("back")
+        assert "initial" in out
+
+    def test_help_and_quit(self, shell):
+        assert "select" in shell.execute("help")
+        assert shell.running
+        shell.execute("quit")
+        assert not shell.running
+
+    def test_blank_line_is_noop(self, shell):
+        assert shell.execute("   ") == ""
+
+
+class TestPivotPersistence:
+    def test_pivot_chain_roundtrip(self):
+        from repro.datasets import museum_graph
+
+        graph = museum_graph()
+        session = FacetedAnalyticsSession(graph)
+        session.select_class(EX.Painting)
+        session.select_value((EX.creator,), EX.VanGogh)
+        session.pivot_to((EX.exhibitedAt,))
+        session.select_value((EX.locatedIn, EX.country), EX.USA)
+        session.group_by((EX.locatedIn,))
+        session.count_items()
+        restored = replay_session(museum_graph(), session_to_json(session))
+        assert set(restored.extension) == set(session.extension)
+        assert [tuple(r) for r in restored.run().rows] == [
+            tuple(r) for r in session.run().rows
+        ]
+
+    def test_double_pivot_roundtrip(self):
+        from repro.datasets import museum_graph
+
+        graph = museum_graph()
+        session = FacetedAnalyticsSession(graph)
+        session.select_class(EX.Painting)
+        session.pivot_to((EX.exhibitedAt,))
+        session.pivot_to((EX.locatedIn,))
+        restored = replay_session(museum_graph(), session_to_dict(session))
+        assert set(restored.extension) == set(session.extension)
+
+    def test_pivot_serialization_shape(self):
+        from repro.datasets import museum_graph
+
+        session = FacetedAnalyticsSession(museum_graph())
+        session.select_class(EX.Painting)
+        session.pivot_to((EX.creator,))
+        data = session_to_dict(session)
+        assert "pivot" in data
+        assert data["pivot"]["inner"]["root_class"].endswith("Painting")
+
+    def test_restrictions_engine_rejects_pivot(self):
+        from repro.datasets import museum_graph
+        from repro.facets.analytics import AnalyticsStateError
+
+        session = FacetedAnalyticsSession(museum_graph())
+        session.select_class(EX.Painting)
+        session.pivot_to((EX.creator,))
+        session.count_items()
+        with pytest.raises(AnalyticsStateError):
+            session.run(engine="restrictions")

@@ -1,0 +1,125 @@
+"""Property-based tests of SPARQL engine invariants (hypothesis).
+
+Algebraic laws the evaluator must satisfy on arbitrary small graphs:
+UNION commutativity, DISTINCT idempotence, LIMIT monotonicity, FILTER
+restriction, OPTIONAL superset, MINUS/FILTER-NOT-EXISTS agreement on
+disjoint-variable-free patterns.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.rdf import Graph
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Literal
+from repro.sparql import query
+
+_subjects = st.sampled_from([EX.term(f"s{i}") for i in range(5)])
+_predicates = st.sampled_from([EX.term(p) for p in ("p", "q", "r")])
+_objects = st.one_of(
+    st.sampled_from([EX.term(f"o{i}") for i in range(4)]),
+    st.integers(min_value=0, max_value=20).map(Literal.of),
+)
+_graphs = st.lists(
+    st.tuples(_subjects, _predicates, _objects), max_size=25
+).map(Graph)
+
+
+def rows(result):
+    return sorted(
+        tuple(sorted(row.items())) for row in result
+    )
+
+
+class TestAlgebraicLaws:
+    @given(_graphs)
+    @settings(max_examples=40, deadline=None)
+    def test_union_commutative(self, g):
+        a = query(g, "SELECT ?s WHERE { { ?s ex:p ?o } UNION { ?s ex:q ?o } }")
+        b = query(g, "SELECT ?s WHERE { { ?s ex:q ?o } UNION { ?s ex:p ?o } }")
+        assert rows(a) == rows(b)
+
+    @given(_graphs)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_idempotent(self, g):
+        once = query(g, "SELECT DISTINCT ?s WHERE { ?s ?p ?o }")
+        assert len(rows(once)) == len(set(rows(once)))
+
+    @given(_graphs, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_limit_monotone(self, g, limit):
+        unlimited = query(g, "SELECT ?s WHERE { ?s ex:p ?o } ORDER BY ?s")
+        limited = query(
+            g, f"SELECT ?s WHERE {{ ?s ex:p ?o }} ORDER BY ?s LIMIT {limit}"
+        )
+        assert len(limited) == min(limit, len(unlimited))
+        assert [r["s"] for r in limited] == [r["s"] for r in unlimited][:limit]
+
+    @given(_graphs)
+    @settings(max_examples=40, deadline=None)
+    def test_filter_restricts(self, g):
+        unfiltered = query(g, "SELECT ?s ?o WHERE { ?s ex:p ?o }")
+        filtered = query(
+            g, "SELECT ?s ?o WHERE { ?s ex:p ?o FILTER(?o > 5) }"
+        )
+        assert set(rows(filtered)) <= set(rows(unfiltered))
+
+    @given(_graphs)
+    @settings(max_examples=40, deadline=None)
+    def test_optional_is_superset_of_inner_join(self, g):
+        joined = query(g, "SELECT ?s WHERE { ?s ex:p ?o . ?s ex:q ?w }")
+        optional = query(
+            g, "SELECT ?s WHERE { ?s ex:p ?o OPTIONAL { ?s ex:q ?w } }"
+        )
+        assert {r["s"] for r in joined} <= {r["s"] for r in optional}
+        # and OPTIONAL keeps exactly the left side's subjects
+        left = query(g, "SELECT ?s WHERE { ?s ex:p ?o }")
+        assert {r["s"] for r in optional} == {r["s"] for r in left}
+
+    @given(_graphs)
+    @settings(max_examples=40, deadline=None)
+    def test_minus_agrees_with_not_exists(self, g):
+        via_minus = query(
+            g, "SELECT ?s WHERE { ?s ex:p ?o MINUS { ?s ex:q ?w } }"
+        )
+        via_not_exists = query(
+            g,
+            "SELECT ?s WHERE { ?s ex:p ?o "
+            "FILTER(NOT EXISTS { ?s ex:q ?w }) }",
+        )
+        assert {r["s"] for r in via_minus} == {r["s"] for r in via_not_exists}
+
+    @given(_graphs)
+    @settings(max_examples=40, deadline=None)
+    def test_count_star_equals_row_count(self, g):
+        plain = query(g, "SELECT ?s ?o WHERE { ?s ex:p ?o }")
+        counted = query(g, "SELECT (COUNT(*) AS ?n) WHERE { ?s ex:p ?o }")
+        assert counted[0].value("n") == len(plain)
+
+    @given(_graphs)
+    @settings(max_examples=40, deadline=None)
+    def test_group_sums_total_to_ungrouped_sum(self, g):
+        grouped = query(
+            g,
+            "SELECT ?s (SUM(?o) AS ?t) WHERE { ?s ex:p ?o "
+            "FILTER(ISNUMERIC(?o)) } GROUP BY ?s",
+        )
+        total = query(
+            g,
+            "SELECT (SUM(?o) AS ?t) WHERE { ?s ex:p ?o FILTER(ISNUMERIC(?o)) }",
+        )
+        grouped_total = sum(float(r.value("t")) for r in grouped)
+        assert grouped_total == float(total[0].value("t"))
+
+    @given(_graphs)
+    @settings(max_examples=40, deadline=None)
+    def test_path_star_contains_plain_step(self, g):
+        plain = query(g, "SELECT ?s ?o WHERE { ?s ex:p ?o }")
+        closed = query(g, "SELECT ?s ?o WHERE { ?s ex:p* ?o }")
+        assert set(rows(plain)) <= set(rows(closed))
+
+    @given(_graphs)
+    @settings(max_examples=30, deadline=None)
+    def test_ask_consistent_with_select(self, g):
+        has_rows = len(query(g, "SELECT ?s WHERE { ?s ex:p ?o }")) > 0
+        assert query(g, "ASK { ?s ex:p ?o }") is has_rows

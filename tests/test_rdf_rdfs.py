@@ -1,0 +1,130 @@
+"""Tests of RDFS closure and schema navigation (§2.1 semantics)."""
+
+import pytest
+
+from repro.rdf import Graph, RDFSClosure, SchemaView
+from repro.rdf.namespace import EX, RDF, RDFS
+from repro.rdf.terms import Literal
+from repro.rdf.turtle import parse
+
+
+@pytest.fixture()
+def schema_graph():
+    return parse(
+        """
+        @prefix ex: <http://www.ics.forth.gr/example#> .
+        ex:Laptop rdfs:subClassOf ex:Product .
+        ex:Gaming rdfs:subClassOf ex:Laptop .
+        ex:manufacturer rdfs:subPropertyOf ex:producer .
+        ex:manufacturer rdfs:domain ex:Product .
+        ex:manufacturer rdfs:range ex:Company .
+        ex:l1 a ex:Gaming ; ex:manufacturer ex:DELL .
+        """
+    )
+
+
+class TestClosure:
+    def test_subclass_transitivity(self, schema_graph):
+        g = RDFSClosure(schema_graph).graph()
+        assert (EX.Gaming, RDFS.subClassOf, EX.Product) in g
+
+    def test_type_propagation(self, schema_graph):
+        g = RDFSClosure(schema_graph).graph()
+        assert (EX.l1, RDF.type, EX.Laptop) in g
+        assert (EX.l1, RDF.type, EX.Product) in g
+
+    def test_subproperty_triple_propagation(self, schema_graph):
+        g = RDFSClosure(schema_graph).graph()
+        assert (EX.l1, EX.producer, EX.DELL) in g
+
+    def test_domain_range_typing(self, schema_graph):
+        g = RDFSClosure(schema_graph).graph()
+        assert (EX.l1, RDF.type, EX.Product) in g
+        assert (EX.DELL, RDF.type, EX.Company) in g
+
+    def test_range_does_not_type_literals(self):
+        g = parse(
+            """
+            @prefix ex: <http://www.ics.forth.gr/example#> .
+            ex:price rdfs:range ex:Money .
+            ex:a ex:price 5 .
+            """
+        )
+        closed = RDFSClosure(g).graph()
+        assert (Literal.of(5), RDF.type, EX.Money) not in closed
+
+    def test_cycle_tolerated(self):
+        g = Graph()
+        g.add(EX.A, RDFS.subClassOf, EX.B)
+        g.add(EX.B, RDFS.subClassOf, EX.A)
+        closed = RDFSClosure(g).graph()
+        assert (EX.A, RDFS.subClassOf, EX.B) in closed
+        assert (EX.B, RDFS.subClassOf, EX.A) in closed
+
+    def test_source_untouched(self, schema_graph):
+        before = len(schema_graph)
+        RDFSClosure(schema_graph).graph()
+        assert len(schema_graph) == before
+
+
+class TestSchemaView:
+    def test_classes(self, schema_graph):
+        view = SchemaView(schema_graph)
+        classes = {c.local_name() for c in view.classes()}
+        assert {"Laptop", "Gaming", "Product", "Company"} <= classes
+
+    def test_instances_under_inference(self, schema_graph):
+        view = SchemaView(schema_graph)
+        assert EX.l1 in view.instances(EX.Product)
+        assert EX.l1 in view.instances(EX.Gaming)
+
+    def test_maximal_classes(self, schema_graph):
+        view = SchemaView(schema_graph)
+        names = {c.local_name() for c in view.maximal_classes()}
+        assert "Product" in names
+        assert "Laptop" not in names
+
+    def test_direct_subclasses_skip_levels(self, schema_graph):
+        view = SchemaView(schema_graph)
+        direct = view.subclasses(EX.Product, direct=True)
+        assert EX.Laptop in direct
+        assert EX.Gaming not in direct
+        assert EX.Gaming in view.subclasses(EX.Product)
+
+    def test_direct_superclasses(self, schema_graph):
+        view = SchemaView(schema_graph)
+        assert view.superclasses(EX.Gaming, direct=True) == {EX.Laptop}
+        assert view.superclasses(EX.Gaming) == {EX.Laptop, EX.Product}
+
+    def test_properties_include_used(self, schema_graph):
+        view = SchemaView(schema_graph)
+        names = {p.local_name() for p in view.properties()}
+        assert {"manufacturer", "producer"} <= names
+
+    def test_maximal_properties(self, schema_graph):
+        view = SchemaView(schema_graph)
+        maximal = {p.local_name() for p in view.maximal_properties()}
+        assert "producer" in maximal
+        assert "manufacturer" not in maximal
+
+    def test_domain_range(self, schema_graph):
+        view = SchemaView(schema_graph)
+        assert view.domain(EX.manufacturer) == EX.Product
+        assert view.range(EX.manufacturer) == EX.Company
+
+    def test_properties_of(self, schema_graph):
+        view = SchemaView(schema_graph)
+        props = view.properties_of([EX.l1])
+        assert EX.manufacturer in props
+        assert RDF.type not in props
+
+    def test_class_tree(self, schema_graph):
+        view = SchemaView(schema_graph)
+        tree = view.class_tree()
+        assert EX.Laptop in tree[EX.Product]
+        assert EX.Gaming in tree[EX.Laptop]
+
+    def test_property_instances(self, schema_graph):
+        view = SchemaView(schema_graph)
+        inst = view.property_instances(EX.producer)
+        assert (EX.l1, EX.producer, EX.DELL) in inst

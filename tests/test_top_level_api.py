@@ -1,0 +1,62 @@
+"""Tests of the top-level convenience API (load_graph / open_session)."""
+
+import pytest
+
+import repro
+from repro.rdf.namespace import EX
+from repro.datasets import products_graph
+from repro.datasets.products import PRODUCTS_TTL
+from repro.rdf import ntriples
+
+
+@pytest.fixture()
+def ttl_file(tmp_path):
+    path = tmp_path / "products.ttl"
+    path.write_text(PRODUCTS_TTL, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def nt_file(tmp_path):
+    path = tmp_path / "products.nt"
+    path.write_text(ntriples.serialize(products_graph()), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    path = tmp_path / "stats.csv"
+    path.write_text("country,cases\nGreece,100\nItaly,200\n", encoding="utf-8")
+    return str(path)
+
+
+class TestLoadGraph:
+    def test_turtle(self, ttl_file):
+        assert repro.load_graph(ttl_file) == products_graph()
+
+    def test_ntriples(self, nt_file):
+        assert repro.load_graph(nt_file) == products_graph()
+
+    def test_csv(self, csv_file):
+        from repro.datasets.csv_import import STAT_ROW
+        from repro.rdf.namespace import RDF
+
+        g = repro.load_graph(csv_file)
+        assert len(list(g.subjects(RDF.type, STAT_ROW))) == 2
+
+
+class TestOpenSession:
+    def test_from_graph(self):
+        session = repro.open_session(products_graph())
+        session.select_class(EX.Laptop)
+        assert len(session.extension) == 3
+
+    def test_from_path(self, ttl_file):
+        session = repro.open_session(ttl_file)
+        session.select_class(EX.Laptop)
+        session.group_by((EX.manufacturer,))
+        session.measure((EX.price,), "AVG")
+        assert len(session.run()) == 2
+
+    def test_version_present(self):
+        assert repro.__version__

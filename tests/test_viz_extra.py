@@ -1,0 +1,65 @@
+"""Tests of the pie/line chart helpers and the 3D spiral layout."""
+
+import math
+
+import pytest
+
+from repro.viz import line_chart, pie_chart, spiral_layout, spiral_layout_3d
+from repro.viz.charts import ChartSeries
+
+
+@pytest.fixture()
+def series():
+    return ChartSeries("cases", (("a", 30.0), ("b", 50.0), ("c", 20.0)))
+
+
+class TestPieChart:
+    def test_percentages_sum_to_100(self, series):
+        slices = pie_chart(series)
+        assert sum(share for _, _, share in slices) == pytest.approx(100.0)
+
+    def test_share_values(self, series):
+        shares = {label: share for label, _, share in pie_chart(series)}
+        assert shares["b"] == pytest.approx(50.0)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            pie_chart(ChartSeries("x", (("a", 0.0),)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pie_chart(ChartSeries("x", (("a", -1.0), ("b", 5.0))))
+
+
+class TestLineChart:
+    def test_sorted_numeric_axis(self):
+        series = ChartSeries("t", (("2022", 5.0), ("2020", 1.0), ("2021", 3.0)))
+        assert line_chart(series) == [(2020.0, 1.0), (2021.0, 3.0), (2022.0, 5.0)]
+
+    def test_non_numeric_label_rejected(self, series):
+        with pytest.raises(ValueError):
+            line_chart(series)
+
+
+class TestSpiral3D:
+    VALUES = [(f"v{i}", float(64 >> i)) for i in range(7)]
+
+    def test_z_monotone_with_rank(self):
+        cubes = spiral_layout_3d(self.VALUES, pitch=0.5)
+        zs = [c.z for c in cubes]
+        assert zs == sorted(zs)
+        assert zs[0] == 0.0 and zs[1] == 0.5
+
+    def test_xy_matches_2d_layout(self):
+        cubes = spiral_layout_3d(self.VALUES)
+        flat = spiral_layout(self.VALUES)
+        for cube, square in zip(cubes, flat.squares):
+            assert (cube.x, cube.y, cube.side) == (square.x, square.y, square.side)
+
+    def test_largest_at_origin(self):
+        cubes = spiral_layout_3d(self.VALUES)
+        assert cubes[0].label == "v0"
+        assert math.hypot(cubes[0].x, cubes[0].y) == 0.0
+
+    def test_empty(self):
+        assert spiral_layout_3d([]) == ()
