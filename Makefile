@@ -1,6 +1,6 @@
 # Convenience targets for the RDF-Analytics reproduction.
 
-.PHONY: install test bench examples all clean
+.PHONY: install test bench chaos examples all clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+chaos:
+	pytest tests/ -m chaos -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo ok; done

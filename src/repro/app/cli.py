@@ -24,6 +24,7 @@ matched against IRI local names case-insensitively):
 ``sparql``             show the SPARQL of the current analytic query
 ``intent``             show the current state's intention
 ``search <words>``     keyword search; restart session from the hits
+``health``             endpoint resilience counters (retries, circuit, ...)
 ``back``               undo the last transition
 ``save`` / ``load``    serialize / restore the interaction (JSON)
 ``help`` / ``quit``
@@ -38,9 +39,14 @@ from __future__ import annotations
 import shlex
 from typing import Callable, Dict, List, Optional
 
+from repro.endpoint import EndpointError
 from repro.rdf.graph import Graph
 from repro.rdf.terms import IRI, Literal, Term
-from repro.facets.analytics import AnswerFrame, FacetedAnalyticsSession
+from repro.facets.analytics import (
+    AnalyticsStateError,
+    AnswerFrame,
+    FacetedAnalyticsSession,
+)
 from repro.facets.model import PropertyRef
 from repro.facets.persistence import replay_session, session_to_json
 from repro.facets.session import EmptyTransitionError
@@ -53,11 +59,19 @@ class ShellError(ValueError):
 
 
 class AnalyticsShell:
-    """The interactive front end; one instance per loaded graph."""
+    """The interactive front end; one instance per loaded graph.
 
-    def __init__(self, graph: Graph):
+    ``session_factory`` builds the session over a graph (and optional
+    seed results); it is remembered so that ``search`` and ``explore``
+    — which open fresh sessions — inherit the same configuration (e.g.
+    the resilient, endpoint-backed variant with retry/deadline knobs).
+    """
+
+    def __init__(self, graph: Graph, session_factory=None):
         self.graph = graph
-        self.session = FacetedAnalyticsSession(graph)
+        self._session_factory = session_factory or (
+            lambda g, results=None: FacetedAnalyticsSession(g, results=results))
+        self.session = self._session_factory(graph)
         self._browser = None
         self.last_frame: Optional[AnswerFrame] = None
         self._frames: List[AnswerFrame] = []
@@ -84,6 +98,7 @@ class AnalyticsShell:
             "intent": self._cmd_intent,
             "search": self._cmd_search,
             "back": self._cmd_back,
+            "health": self._cmd_health,
             "save": self._cmd_save,
             "load": self._cmd_load,
             "help": self._cmd_help,
@@ -99,6 +114,11 @@ class AnalyticsShell:
             for candidate in marker.flatten():
                 if candidate.cls.local_name().lower() == lowered:
                     return candidate.cls
+        # The markers may be degraded (endpoint down, nothing cached);
+        # the schema is client-side, so selection stays possible.
+        for cls in self.session.schema.classes():
+            if isinstance(cls, IRI) and cls.local_name().lower() == lowered:
+                return cls
         raise ShellError(f"unknown class {name!r} (try 'classes')")
 
     def _resolve_property(self, name: str) -> PropertyRef:
@@ -160,8 +180,13 @@ class AnalyticsShell:
             return f"unknown command {command!r}; try 'help'"
         try:
             return handler(args)
-        except (ShellError, EmptyTransitionError, ValueError) as exc:
+        except (ShellError, EmptyTransitionError, ValueError,
+                AnalyticsStateError) as exc:
             return f"error: {exc}"
+        except EndpointError as exc:
+            # Typed endpoint failures (timeouts, open circuit, ...) must
+            # not kill the shell — report and keep the session state.
+            return f"endpoint error: {type(exc).__name__}: {exc}"
 
     def run_script(self, lines) -> List[str]:
         """Execute many lines; returns the outputs (for tests/demos)."""
@@ -187,12 +212,16 @@ class AnalyticsShell:
         return "\n".join(render(self.session.class_markers(expanded=expanded)))
 
     def _cmd_facets(self, args: List[str]) -> str:
+        listing = self.session.property_facets()
         lines = []
-        for facet in self.session.property_facets():
+        for facet in listing:
             values = ", ".join(str(v) for v in facet.values[:8])
             more = "" if len(facet.values) <= 8 else f", ... ({len(facet.values)} values)"
             lines.append(f"{facet}: {values}{more}")
-        return "\n".join(lines)
+        # A resilient session may return a partial listing — say so.
+        for error in getattr(listing, "errors", ()):
+            lines.append(f"unavailable — {error}")
+        return "\n".join(lines) or "(no facets)"
 
     def _cmd_objects(self, args: List[str]) -> str:
         limit = int(args[0]) if args else 20
@@ -376,7 +405,7 @@ class AnalyticsShell:
     def _cmd_explore(self, args: List[str]) -> str:
         if self.last_frame is None:
             raise ShellError("no answer to explore; 'run' first")
-        self.session = self.last_frame.explore()
+        self.session = self._session_factory(self.last_frame.to_graph())
         self.graph = self.session.graph
         return (
             f"loaded the answer as a new dataset "
@@ -396,7 +425,7 @@ class AnalyticsShell:
         hits = KeywordIndex(self.graph).search(" ".join(args))
         if not hits:
             return "no results"
-        self.session = FacetedAnalyticsSession(
+        self.session = self._session_factory(
             self.graph, results=[h.resource for h in hits]
         )
         rendered = ", ".join(f"{h.label} ({h.score:.1f})" for h in hits[:8])
@@ -405,6 +434,24 @@ class AnalyticsShell:
     def _cmd_back(self, args: List[str]) -> str:
         state = self.session.back()
         return f"back to '{state.description}': {len(state.extension)} objects"
+
+    def _cmd_health(self, args: List[str]) -> str:
+        """health — resilience counters of an endpoint-backed session."""
+        health = getattr(self.session, "health", None)
+        if health is None:
+            return "local session: no endpoint, nothing to report"
+        report = health()
+        outcomes = ", ".join(
+            f"{tag}={n}" for tag, n in report["outcomes"].items())
+        return (
+            f"queries: {report['queries']} ({outcomes})\n"
+            f"retries: {report['retries']}, "
+            f"backoff: {report['backoff_seconds']:.2f}s virtual\n"
+            f"circuit: {report['circuit_state']}\n"
+            f"degradations: {report['incidents']} "
+            f"({report['stale_serves']} served stale, "
+            f"{report['dropped']} dropped)"
+        )
 
     def _cmd_save(self, args: List[str]) -> str:
         return session_to_json(self.session)
@@ -423,18 +470,79 @@ class AnalyticsShell:
         return "bye"
 
 
-def main() -> None:  # pragma: no cover - interactive entry point
-    """Interactive REPL over the bundled products KG (or a Turtle file)."""
-    import sys
+def build_shell(argv=None) -> AnalyticsShell:
+    """Parse CLI flags and construct the shell (separated for tests).
+
+    The resilience knobs apply to the endpoint-backed commands (facet
+    listings, counts, ``run``): ``--network``/``--fault-rate`` put a
+    simulated (and optionally flaky) remote endpoint behind the
+    session, and ``--retries``/``--timeout`` configure the client-side
+    defences of :class:`repro.endpoint.ResilientEndpoint`.  Without any
+    of these flags the shell stays fully local and infallible.
+    """
+    import argparse
 
     from repro.datasets import products_graph
     from repro.rdf.turtle import parse_file
 
-    if len(sys.argv) > 1:
-        graph = parse_file(sys.argv[1])
-    else:
-        graph = products_graph()
-    shell = AnalyticsShell(graph)
+    parser = argparse.ArgumentParser(
+        prog="repro.app", description="RDF-Analytics interactive shell")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="Turtle file to load (default: bundled products KG)")
+    parser.add_argument("--network", choices=("local", "offpeak", "peak"),
+                        default="local",
+                        help="simulate a remote endpoint with this latency model")
+    parser.add_argument("--fault-rate", type=float, default=0.0, metavar="P",
+                        help="inject endpoint faults with total probability P")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="attempts per endpoint query (1 = no retries)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-query deadline in (virtual) seconds")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for latency, fault and backoff sampling")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.fault_rate <= 1.0:
+        parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
+
+    graph = parse_file(args.file) if args.file else products_graph()
+    resilient = (args.network != "local" or args.fault_rate > 0.0
+                 or args.retries is not None or args.timeout is not None)
+    if not resilient:
+        return AnalyticsShell(graph)
+
+    from repro.endpoint import (
+        FaultModel,
+        FlakyEndpointSimulator,
+        LocalEndpoint,
+        NetworkModel,
+        RetryPolicy,
+    )
+    from repro.facets.resilient import ResilientFacetedSession
+
+    model = {"offpeak": NetworkModel.offpeak(),
+             "peak": NetworkModel.peak(),
+             "local": None}[args.network]
+    faults = (FaultModel.uniform(args.fault_rate)
+              if args.fault_rate > 0.0 else None)
+    retry = (RetryPolicy(max_attempts=max(1, args.retries))
+             if args.retries is not None else None)
+
+    def endpoint_factory(g):
+        if model is None and faults is None:
+            return LocalEndpoint(g)
+        return FlakyEndpointSimulator(g, model, faults, seed=args.seed)
+
+    def session_factory(g, results=None):
+        return ResilientFacetedSession(
+            g, results=results, endpoint_factory=endpoint_factory,
+            retry=retry, timeout=args.timeout, seed=args.seed)
+
+    return AnalyticsShell(graph, session_factory=session_factory)
+
+
+def main() -> None:  # pragma: no cover - interactive entry point
+    """Interactive REPL over the bundled products KG (or a Turtle file)."""
+    shell = build_shell()
     print("RDF-Analytics shell — 'help' lists the commands.")
     while shell.running:
         try:

@@ -19,15 +19,49 @@ class QueryStats:
     ``network_seconds`` is zero for local endpoints; for the simulator it
     is *virtual* time (sampled, not slept) unless the endpoint was
     created with ``sleep=True``.
+
+    The resilience fields describe how the request was served:
+    ``attempts`` counts the tries a retrying wrapper made (1 for raw
+    endpoints), ``backoff_seconds`` is the total (virtual) wait spent
+    between retries, and ``outcome`` tags how the request ended —
+    ``"ok"`` or one of the failure tags of
+    :mod:`repro.endpoint.errors` (``"timeout"``, ``"unavailable"``,
+    ``"rate_limited"``, ``"truncated"``, ``"circuit_open"``).
     """
 
     engine_seconds: float
     network_seconds: float
     rows: int
+    attempts: int = 1
+    backoff_seconds: float = 0.0
+    outcome: str = "ok"
 
     @property
     def total_seconds(self) -> float:
-        return self.engine_seconds + self.network_seconds
+        return self.engine_seconds + self.network_seconds + self.backoff_seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+
+def result_rows(result) -> int:
+    """The transferred-row count of *any* query form.
+
+    SELECT answers report their row count, CONSTRUCT answers the number
+    of produced triples, and an ASK answer is one boolean row — so the
+    ``per_row`` term of the latency model never silently drops out.
+    """
+    if isinstance(result, SelectResult):
+        return len(result)
+    if isinstance(result, bool):
+        return 1
+    if isinstance(result, Graph):
+        return len(result)
+    try:
+        return len(result)
+    except TypeError:
+        return 0
 
 
 class LocalEndpoint:
@@ -42,8 +76,7 @@ class LocalEndpoint:
         started = time.perf_counter()
         result = sparql_query(self.graph, text)
         elapsed = time.perf_counter() - started
-        rows = len(result) if isinstance(result, SelectResult) else 0
-        self.history.append(QueryStats(elapsed, 0.0, rows))
+        self.history.append(QueryStats(elapsed, 0.0, result_rows(result)))
         return result
 
     @property
@@ -106,7 +139,7 @@ class RemoteEndpointSimulator(LocalEndpoint):
         started = time.perf_counter()
         result = sparql_query(self.graph, text)
         engine = time.perf_counter() - started
-        rows = len(result) if isinstance(result, SelectResult) else 0
+        rows = result_rows(result)
         network = self.model.sample(self._rng, rows)
         if self.sleep:
             time.sleep(network)

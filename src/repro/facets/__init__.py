@@ -14,6 +14,9 @@
   yields HAVING clauses and nested analytic queries.
 * :mod:`repro.facets.sparql_backend` — the SPARQL-only evaluation of
   the model (Tables 5.1/5.2; the Fig. 8.3 alternative implementation).
+* :mod:`repro.facets.resilient` — the endpoint-backed session with
+  graceful degradation: stale counts flagged ``approximate``, partial
+  listings with explicit ``errors``, never a crashed interaction.
 * :mod:`repro.facets.planner` — §7.1 expressiveness: HIFUN query →
   click script.
 * :mod:`repro.facets.browser` — the browsing access method of §1.2(i).
@@ -22,6 +25,8 @@
 
 from repro.facets.model import (
     ClassMarker,
+    FacetError,
+    FacetListing,
     PropertyFacet,
     PropertyRef,
     State,
@@ -36,9 +41,10 @@ from repro.facets.intentions import (
     PathRangeCondition,
     PathValueCondition,
 )
-from repro.facets.session import FacetedSession
+from repro.facets.session import EmptyTransitionError, FacetedSession
 from repro.facets.analytics import AnswerFrame, FacetedAnalyticsSession
-from repro.facets.sparql_backend import SparqlFacetEngine
+from repro.facets.sparql_backend import SparqlFacetEngine, temp_extension
+from repro.facets.resilient import DegradationEvent, ResilientFacetedSession
 from repro.facets.planner import (
     InexpressibleQueryError,
     InteractionPlan,
@@ -60,10 +66,16 @@ __all__ = [
     "ClassCondition",
     "PathValueCondition",
     "PathRangeCondition",
+    "EmptyTransitionError",
     "FacetedSession",
     "AnswerFrame",
     "FacetedAnalyticsSession",
     "SparqlFacetEngine",
+    "temp_extension",
+    "FacetError",
+    "FacetListing",
+    "DegradationEvent",
+    "ResilientFacetedSession",
     "InexpressibleQueryError",
     "InteractionPlan",
     "plan_interaction",

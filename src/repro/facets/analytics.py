@@ -443,7 +443,7 @@ class FacetedAnalyticsSession(FacetedSession):
         base = self.hifun_query()
         return base.restricted(grouping=restrictions), intention.root_class
 
-    def run(self, engine: str = "sparql") -> AnswerFrame:
+    def run(self, engine: str = "sparql", endpoint=None) -> AnswerFrame:
         """Execute the analytic query over the current state's extension.
 
         ``engine``:
@@ -453,11 +453,20 @@ class FacetedAnalyticsSession(FacetedSession):
         * ``"native"`` — the reference three-step HIFUN evaluator;
         * ``"restrictions"`` — fold the intention into HIFUN
           restrictions (§5.5) and run the self-contained translation.
+
+        ``endpoint`` routes the SPARQL evaluation of the ``"sparql"``
+        and ``"restrictions"`` engines through an endpoint object (e.g.
+        a :class:`~repro.endpoint.ResilientEndpoint`) instead of the
+        in-process engine; its typed errors propagate to the caller,
+        but the temp-class materialization is exception-safe — a failed
+        query never leaves ``rdf:type :temp`` triples in the graph.
         """
+        evaluate = endpoint.query if endpoint is not None else (
+            lambda text: sparql_query(self.graph, text))
         if engine == "restrictions":
             restricted, root_class = self.hifun_query_with_restrictions()
             translation = translate(restricted, root_class=root_class)
-            result = sparql_query(self.graph, translation.text)
+            result = evaluate(translation.text)
             columns = translation.answer_columns
             rows = [tuple(row.get(c) for c in columns) for row in result]
             rows.sort(key=_row_sort_key)
@@ -476,19 +485,11 @@ class FacetedAnalyticsSession(FacetedSession):
             return AnswerFrame(columns, answer.rows(), query, None)
         if engine != "sparql":
             raise ValueError(f"unknown engine {engine!r}")
+        from repro.facets.sparql_backend import temp_extension
+
         translation = translate(query, root_class=TEMP_CLASS)
-        added = [
-            (item, RDF.type, TEMP_CLASS)
-            for item in self.extension
-            if (item, RDF.type, TEMP_CLASS) not in self.graph
-        ]
-        for triple in added:
-            self.graph.add(*triple)
-        try:
-            result = sparql_query(self.graph, translation.text)
-        finally:
-            for triple in added:
-                self.graph.remove(*triple)
+        with temp_extension(self.graph, self.extension, TEMP_CLASS):
+            result = evaluate(translation.text)
         columns = translation.answer_columns
         rows = [tuple(row.get(c) for c in columns) for row in result]
         rows.sort(key=_row_sort_key)

@@ -145,18 +145,25 @@ class ValueMarker:
 
 @dataclass(frozen=True)
 class ClassMarker:
-    """A class-based transition marker (Fig. 5.4 a/b), hierarchical."""
+    """A class-based transition marker (Fig. 5.4 a/b), hierarchical.
+
+    ``approximate`` marks a count served from a stale cache after an
+    endpoint failure (graceful degradation) — the UI renders it as
+    "~n" and must tolerate the click landing on an empty result.
+    """
 
     cls: IRI
     count: int
     children: Tuple["ClassMarker", ...] = ()
+    approximate: bool = False
 
     @property
     def label(self) -> str:
         return self.cls.local_name()
 
     def __str__(self):
-        return f"{self.label} ({self.count})"
+        tilde = "~" if self.approximate else ""
+        return f"{self.label} ({tilde}{self.count})"
 
     def flatten(self) -> List["ClassMarker"]:
         out = [self]
@@ -177,6 +184,7 @@ class PropertyFacet:
     path: Path
     count: int
     values: Tuple[ValueMarker, ...]
+    approximate: bool = False
 
     @property
     def prop(self) -> PropertyRef:
@@ -187,13 +195,54 @@ class PropertyFacet:
         return "by " + " ▷ ".join(step.name for step in self.path)
 
     def __str__(self):
-        return f"{self.label} ({self.count})"
+        tilde = "~" if self.approximate else ""
+        return f"{self.label} ({tilde}{self.count})"
 
     def value_for(self, term: Term) -> Optional[ValueMarker]:
         for marker in self.values:
             if marker.value == term:
                 return marker
         return None
+
+
+@dataclass(frozen=True)
+class FacetListing:
+    """A (possibly partial) left-frame facet listing.
+
+    When facet counts come from a remote endpoint, individual count
+    queries can fail; the listing then carries the facets that *did*
+    resolve (stale ones flagged ``approximate``) plus one entry in
+    ``errors`` per facet that could not be served at all.  Iteration
+    and indexing go straight to ``facets``, so code written against a
+    plain ``List[PropertyFacet]`` keeps working.
+    """
+
+    facets: Tuple[PropertyFacet, ...]
+    errors: Tuple["FacetError", ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.errors and not any(f.approximate for f in self.facets)
+
+    def __iter__(self):
+        return iter(self.facets)
+
+    def __len__(self) -> int:
+        return len(self.facets)
+
+    def __getitem__(self, index):
+        return self.facets[index]
+
+
+@dataclass(frozen=True)
+class FacetError:
+    """One facet (or listing step) that failed: which, and why."""
+
+    operation: str
+    error: Exception
+
+    def __str__(self):
+        return f"{self.operation}: {type(self.error).__name__}: {self.error}"
 
 
 # ---------------------------------------------------------------------------

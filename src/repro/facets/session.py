@@ -18,6 +18,14 @@
 
 The session works on the RDFS closure of the input graph, so subclass /
 subproperty semantics are honoured (§5.2.1).
+
+The facet computations here are *native* (direct index access, always
+consistent).  When counts must instead come from a remote — and hence
+fallible — SPARQL endpoint, use
+:class:`repro.facets.resilient.ResilientFacetedSession`, which overrides
+``class_markers`` / ``property_facets`` / ``facet`` to query through the
+resilience layer and degrade gracefully on failure; the transition
+methods below are shared and never depend on the endpoint.
 """
 
 from __future__ import annotations

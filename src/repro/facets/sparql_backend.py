@@ -25,6 +25,7 @@ the same semantics (the test suite runs both and compares).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.rdf.graph import Graph
@@ -43,6 +44,34 @@ APP = Namespace("http://www.ics.forth.gr/rdf-analytics#")
 TEMP = APP.temp
 
 
+@contextmanager
+def temp_extension(graph: Graph, extension: Iterable[Term], cls: IRI = TEMP):
+    """Materialize ``extension`` under the temporary class, guaranteed
+    clean.
+
+    The dissertation's temp-class device (Table 5.1) writes
+    ``rdf:type :temp`` triples into the *user's* graph, so a query
+    failure mid-batch must not leave them behind.  This context manager
+    is the only sanctioned way to use the device: whatever happens
+    inside the block — including a partial materialization, when
+    ``graph.add`` itself dies half-way — every triple that was added is
+    removed on exit.
+    """
+    added: List[tuple] = []
+    try:
+        for item in extension:
+            if isinstance(item, Literal):
+                continue
+            triple = (item, RDF.type, cls)
+            if triple not in graph:
+                graph.add(*triple)
+                added.append(triple)
+        yield added
+    finally:
+        for triple in added:
+            graph.remove(*triple)
+
+
 class SparqlFacetEngine:
     """Facet computation by SPARQL queries only (Table 5.2).
 
@@ -59,7 +88,12 @@ class SparqlFacetEngine:
     # ------------------------------------------------------------------
     # The temp-class device
     # ------------------------------------------------------------------
+    def temp(self, extension: Iterable[Term]):
+        """The temp-class device as a context manager (exception-safe)."""
+        return temp_extension(self.graph, extension)
+
     def _materialize(self, extension: Iterable[Term]) -> List[tuple]:
+        """Bare materialization — prefer :meth:`temp`, which cannot leak."""
         added = []
         for item in extension:
             if isinstance(item, Literal):
@@ -157,40 +191,27 @@ class SparqlFacetEngine:
         return {row["x"] for row in result}
 
     def extension_of_temp(self, extension: Iterable[Term]) -> Set[Term]:
-        added = self._materialize(extension)
-        try:
+        with self.temp(extension):
             result = self.endpoint.query(self.q_extension())
             return {row["x"] for row in result}
-        finally:
-            self._clear(added)
 
     def joins(self, extension: Iterable[Term], path: Path) -> Set[Term]:
-        added = self._materialize(extension)
-        try:
+        with self.temp(extension):
             result = self.endpoint.query(self.q_joins(path))
             return {row.get("v" + str(len(path))) for row in result}
-        finally:
-            self._clear(added)
 
     def restrict(self, extension: Iterable[Term], path: Path, value: Term) -> Set[Term]:
-        added = self._materialize(extension)
-        try:
+        with self.temp(extension):
             result = self.endpoint.query(self.q_restrict_value(path, value))
             return {row["x"] for row in result}
-        finally:
-            self._clear(added)
 
     def restrict_to_class(self, extension: Iterable[Term], cls: IRI) -> Set[Term]:
-        added = self._materialize(extension)
-        try:
+        with self.temp(extension):
             result = self.endpoint.query(self.q_restrict_class(cls))
             return {row["x"] for row in result}
-        finally:
-            self._clear(added)
 
     def class_counts(self, extension: Iterable[Term]) -> Dict[IRI, int]:
-        added = self._materialize(extension)
-        try:
+        with self.temp(extension):
             result = self.endpoint.query(self.q_class_counts())
             counts: Dict[IRI, int] = {}
             for row in result:
@@ -199,8 +220,6 @@ class SparqlFacetEngine:
                     continue
                 counts[cls] = int(row.value("count"))
             return counts
-        finally:
-            self._clear(added)
 
     def facet(self, extension: Iterable[Term], path: Path) -> PropertyFacet:
         """A property facet with counts, via one grouped SPARQL query.
@@ -210,8 +229,7 @@ class SparqlFacetEngine:
         grouped query can only count extension objects; both coincide
         for single-step facets (the common case in the UI's left frame).
         """
-        added = self._materialize(extension)
-        try:
+        with self.temp(extension):
             result = self.endpoint.query(self.q_value_counts(path))
             values = []
             total_query = (
@@ -225,16 +243,13 @@ class SparqlFacetEngine:
             total = self.endpoint.query(total_query)
             count = int(total[0].value("n")) if len(total) else 0
             return PropertyFacet(path=tuple(path), count=count, values=tuple(values))
-        finally:
-            self._clear(added)
 
     def applicable_properties(self, extension: Iterable[Term]) -> List[PropertyRef]:
         from repro.rdf.namespace import RDFS
 
         schema = {RDF.type, RDFS.subClassOf, RDFS.subPropertyOf, RDFS.domain,
                   RDFS.range}
-        added = self._materialize(extension)
-        try:
+        with self.temp(extension):
             result = self.endpoint.query(self.q_properties())
             return sorted(
                 (
@@ -244,5 +259,3 @@ class SparqlFacetEngine:
                 ),
                 key=lambda r: r.prop.sort_key(),
             )
-        finally:
-            self._clear(added)

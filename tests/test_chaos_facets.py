@@ -1,0 +1,333 @@
+"""Chaos tests: faceted sessions driven over a fault-injecting endpoint.
+
+The acceptance scenario of the resilience layer: a scripted 50-transition
+faceted-analytics session over a flaky endpoint (fault rates up to 0.3,
+retries on) must complete with **zero uncaught exceptions**, every
+degraded count explicitly flagged, the interaction state consistent at
+every step, and no ``rdf:type :temp`` residue in the user's graph.
+
+The fault-rate sweep is marked ``chaos`` (run via ``make chaos``); the
+deterministic degradation tests below it run in the tier-1 suite.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets import products_graph
+from repro.endpoint import (
+    EndpointError,
+    EndpointUnavailable,
+    FaultModel,
+    LocalEndpoint,
+    NetworkModel,
+    ResilientEndpoint,
+    RetryPolicy,
+)
+from repro.facets import (
+    EmptyTransitionError,
+    FacetedAnalyticsSession,
+    ResilientFacetedSession,
+)
+from repro.facets.sparql_backend import TEMP, SparqlFacetEngine
+from repro.rdf.namespace import RDF
+
+TRANSITIONS = 50
+
+
+def temp_residue(graph):
+    return list(graph.triples(None, RDF.type, TEMP))
+
+
+def drive(session, seed, transitions=TRANSITIONS):
+    """Drive a scripted interaction: pick random clickable markers.
+
+    Only :class:`EmptyTransitionError` from clicking an *approximate*
+    (stale) marker is tolerated — the sanctioned degradation signal.
+    Anything else propagates and fails the test.  Returns the number of
+    empty clicks absorbed.
+    """
+    rng = random.Random(seed)
+    empty_clicks = 0
+    done = 0
+    while done < transitions:
+        actions = [("back",)] if len(session.history()) > 1 else []
+        markers = [m for top in session.class_markers(expanded=True)
+                   for m in top.flatten()]
+        for marker in markers:
+            actions.append(("class", marker))
+        listing = session.property_facets()
+        for facet in listing:
+            for value in facet.values[:4]:
+                actions.append(("value", facet, value))
+        if not actions:
+            # Everything degraded to empty right now (e.g. circuit open):
+            # the user waits a moment and the UI refreshes.
+            session.endpoint.advance(5.0)
+            done += 1
+            continue
+        action = rng.choice(actions)
+        approximate = False
+        try:
+            if action[0] == "back":
+                session.back()
+            elif action[0] == "class":
+                approximate = action[1].approximate
+                session.select_class(action[1].cls)
+            else:
+                facet, value = action[1], action[2]
+                approximate = facet.approximate
+                session.select_value(facet.path, value.value)
+        except EmptyTransitionError:
+            if not approximate:
+                raise
+            empty_clicks += 1
+        assert session.extension, "session reached an empty extension"
+        done += 1
+    return empty_clicks
+
+
+class TestChaosSweep:
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("fault_rate", [0.1, 0.2, 0.3])
+    def test_scripted_session_survives_fault_sweep(self, fault_rate):
+        session = ResilientFacetedSession(
+            products_graph(),
+            network=NetworkModel.offpeak(),
+            faults=FaultModel.uniform(fault_rate),
+            retry=RetryPolicy(max_attempts=4),
+            timeout=120.0,
+            seed=int(fault_rate * 10),
+        )
+        drive(session, seed=42)
+        # Zero uncaught exceptions (we got here), state consistent:
+        assert session.extension
+        assert not temp_residue(session.graph)
+        # Every absorbed failure is explicit and typed:
+        for event in session.incidents:
+            assert isinstance(event.error, EndpointError)
+            assert event.operation
+        health = session.health()
+        assert health["incidents"] == len(session.incidents)
+        assert health["queries"] > 0
+
+    @pytest.mark.chaos
+    def test_chaos_session_is_seeded_deterministic(self):
+        def run():
+            session = ResilientFacetedSession(
+                products_graph(),
+                network=NetworkModel.offpeak(),
+                faults=FaultModel.uniform(0.25),
+                retry=RetryPolicy(max_attempts=3),
+                seed=7,
+            )
+            drive(session, seed=13)
+            key = lambda s: (s.network_seconds, s.rows, s.attempts,
+                             s.backoff_seconds, s.outcome)
+            return ([key(s) for s in session.endpoint.history],
+                    [str(e) for e in session.incidents])
+        assert run() == run()
+
+
+class TestDegradation:
+    def flaky_session(self, fault_rate=0.6, retry=None, **kwargs):
+        return ResilientFacetedSession(
+            products_graph(),
+            network=NetworkModel.offpeak(),
+            faults=FaultModel.uniform(fault_rate),
+            retry=retry or RetryPolicy.none(),
+            breaker=None,
+            seed=1,
+            **kwargs,
+        )
+
+    def test_no_retries_surface_typed_errors_only(self):
+        """With retries disabled the raw endpoint's failures must appear
+        as EndpointError subclasses in incidents — never bare Exception."""
+        session = self.flaky_session()
+        for _ in range(12):
+            session.class_markers()
+            session.property_facets()
+        assert session.incidents
+        for event in session.incidents:
+            assert type(event.error) is not Exception
+            assert isinstance(event.error, EndpointError)
+        report = session.endpoint.report()
+        assert report["retries"] == 0
+        assert report["failures"] == len(
+            [s for s in session.endpoint.history if not s.ok])
+
+    def test_stale_counts_flagged_approximate(self):
+        """After the endpoint dies, cached markers are served flagged."""
+        graph = products_graph()
+        session = ResilientFacetedSession(
+            graph,
+            endpoint_factory=lambda g: FailAfter(g, healthy_queries=200),
+            retry=RetryPolicy.none(), breaker=None)
+        fresh = session.class_markers(expanded=True)
+        fresh_listing = session.property_facets()
+        assert fresh and all(not m.approximate for m in fresh)
+        assert fresh_listing.complete
+        session.endpoint.inner.kill()
+        stale = session.class_markers(expanded=True)
+        assert [m.cls for m in stale] == [m.cls for m in fresh]
+        for marker in stale:
+            for m in marker.flatten():
+                assert m.approximate
+                assert str(m).startswith(m.label + " (~")
+        stale_listing = session.property_facets()
+        assert not stale_listing.complete
+        assert all(f.approximate for f in stale_listing)
+        assert not stale_listing.errors  # everything had a cached value
+        assert session.degraded
+        assert all(e.stale for e in session.incidents)
+
+    def test_never_cached_facets_become_listing_errors(self):
+        """A facet that never succeeded lands in FacetListing.errors."""
+        session = ResilientFacetedSession(
+            products_graph(),
+            endpoint_factory=lambda g: FailFacetCounts(g),
+            retry=RetryPolicy.none(), breaker=None)
+        listing = session.property_facets()
+        assert len(listing) == 0
+        assert listing.errors
+        assert not listing.complete
+        for entry in listing.errors:
+            assert entry.operation.startswith("by ")
+            assert isinstance(entry.error, EndpointError)
+        # The incidents log mirrors the dropped facets:
+        dropped = [e for e in session.incidents if not e.stale]
+        assert dropped
+        assert all(e.operation.startswith("facet ") for e in dropped)
+
+    def test_facet_last_resort_is_flagged_empty(self):
+        session = self.flaky_session(fault_rate=0.0)
+        session.endpoint.inner.faults = FaultModel.uniform(1.0)
+        refs = None
+        try:
+            refs = FacetedAnalyticsSession(
+                products_graph()).applicable_properties()
+        except EndpointError:  # pragma: no cover - native path cannot fail
+            pytest.fail("native applicable_properties must not fail")
+        facet = session.facet((refs[0],))
+        assert facet.approximate
+        assert facet.count == 0
+        assert facet.values == ()
+
+    def test_transitions_never_raise_endpoint_errors(self):
+        """State machinery is native: selections work even when every
+        endpoint query fails."""
+        session = self.flaky_session(fault_rate=1.0)
+        native = FacetedAnalyticsSession(products_graph())
+        marker = native.class_markers()[0]
+        session.select_class(marker.cls)
+        assert session.extension == native.select_class(marker.cls).extension
+        session.back()
+        assert len(session.history()) == 1
+
+    def test_health_counters(self):
+        session = self.flaky_session(fault_rate=0.0)
+        session.class_markers()
+        health = session.health()
+        assert health["incidents"] == 0
+        assert health["stale_serves"] == 0
+        assert health["dropped"] == 0
+        assert health["outcomes"] == {"ok": 1}
+
+
+class TestTempClassHygiene:
+    """Satellite: the temp-class device must never leak, even mid-failure."""
+
+    def test_engine_failure_leaves_graph_clean(self):
+        graph = products_graph()
+        endpoint = FailFacetCounts(graph)
+        engine = SparqlFacetEngine(graph, endpoint)
+        extension = FacetedAnalyticsSession(products_graph()).extension
+        native_refs = FacetedAnalyticsSession(
+            products_graph()).applicable_properties()
+        with pytest.raises(EndpointUnavailable):
+            engine.facet(extension, (native_refs[0],))
+        assert not temp_residue(graph)
+
+    def test_analytics_run_failure_leaves_graph_clean(self):
+        graph = products_graph()
+        session = ResilientFacetedSession(
+            graph,
+            network=NetworkModel.offpeak(),
+            faults=FaultModel.uniform(1.0),
+            retry=RetryPolicy.none(), breaker=None)
+        refs = _native_refs(graph)
+        session.group_by((refs[0],))
+        session.measure((refs[1],), "COUNT")
+        with pytest.raises(EndpointError):
+            session.run("sparql")
+        assert not temp_residue(graph)
+        assert not temp_residue(session.graph)
+
+    def test_resilient_run_matches_native_when_healthy(self):
+        graph = products_graph()
+        session = ResilientFacetedSession(graph)
+        native = FacetedAnalyticsSession(products_graph())
+        refs = _native_refs(graph)
+        for s in (session, native):
+            s.group_by((refs[0],))
+            s.measure((refs[1],), "COUNT")
+        assert str(session.run("sparql")) == str(native.run("sparql"))
+        assert not temp_residue(graph)
+
+
+def _native_refs(graph):
+    return FacetedAnalyticsSession(graph).applicable_properties()
+
+
+class FailAfter:
+    """A LocalEndpoint that can be killed mid-session."""
+
+    def __init__(self, graph, healthy_queries):
+        self._inner = LocalEndpoint(graph)
+        self.remaining = healthy_queries
+
+    @property
+    def graph(self):
+        return self._inner.graph
+
+    @property
+    def history(self):
+        return self._inner.history
+
+    @property
+    def last(self):
+        return self._inner.last
+
+    def kill(self):
+        self.remaining = 0
+
+    def query(self, text):
+        if self.remaining <= 0:
+            raise EndpointUnavailable("503 service unavailable")
+        self.remaining -= 1
+        return self._inner.query(text)
+
+
+class FailFacetCounts(FailAfter):
+    """Answers property discovery but fails every count/value query."""
+
+    def __init__(self, graph):
+        super().__init__(graph, healthy_queries=10 ** 9)
+
+    def query(self, text):
+        if "COUNT" in text or "GROUP BY" in text:
+            raise EndpointUnavailable("503 on aggregate query")
+        return super().query(text)
+
+
+class TestWrapperComposition:
+    def test_resilient_endpoint_usable_by_plain_engine(self):
+        graph = products_graph()
+        wrapper = ResilientEndpoint(LocalEndpoint(graph))
+        engine = SparqlFacetEngine(graph, wrapper)
+        extension = FacetedAnalyticsSession(graph).extension
+        counts = engine.class_counts(extension)
+        assert counts
+        assert not temp_residue(graph)
+        assert wrapper.last.outcome == "ok"
