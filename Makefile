@@ -1,6 +1,6 @@
 # Convenience targets for the RDF-Analytics reproduction.
 
-.PHONY: install test bench chaos examples all clean
+.PHONY: install test bench bench-smoke chaos examples all clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -10,6 +10,17 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick CI-friendly sanity pass: the engine micro-benchmarks and the
+# facet scalability sweep at the smallest synthetic size, with a tight
+# per-benchmark time budget.
+bench-smoke:
+	PYTHONPATH=src REPRO_BENCH_SIZES=100 pytest benchmarks/bench_engine_micro.py \
+		benchmarks/bench_scalability_facets.py \
+		benchmarks/bench_ablation_dictionary.py \
+		-m smoke --benchmark-only -q \
+		--benchmark-max-time=0.2 --benchmark-min-rounds=1 \
+		--benchmark-warmup=off
 
 chaos:
 	pytest tests/ -m chaos -q

@@ -6,6 +6,8 @@ markers, property facets with counts, a path expansion, and a full
 analytic run.  Shape: near-linear growth.
 """
 
+import gc
+import os
 import time
 
 import pytest
@@ -16,34 +18,39 @@ from repro.rdf.namespace import EX
 
 from conftest import format_table
 
-SIZES = (100, 400, 1600)
+pytestmark = pytest.mark.smoke
+
+#: Laptop counts to sweep; override with e.g. REPRO_BENCH_SIZES=100 for
+#: the smoke run (``make bench-smoke``).
+SIZES = tuple(
+    int(size)
+    for size in os.environ.get("REPRO_BENCH_SIZES", "100,400,1600").split(",")
+)
 
 
 def measure(size):
     graph = synthetic_graph(SyntheticConfig(laptops=size, seed=21))
     timings = {}
-    started = time.perf_counter()
-    session = FacetedAnalyticsSession(graph)
-    timings["startup (closure)"] = time.perf_counter() - started
 
-    started = time.perf_counter()
-    session.class_markers(expanded=True)
-    timings["class markers"] = time.perf_counter() - started
+    def timed(label, fn):
+        # Collect before timing so one step's garbage is not charged
+        # to whichever successor happens to trip the collector.
+        gc.collect()
+        started = time.perf_counter()
+        result = fn()
+        timings[label] = time.perf_counter() - started
+        return result
 
+    session = timed(
+        "startup (closure)", lambda: FacetedAnalyticsSession(graph))
+    timed("class markers", lambda: session.class_markers(expanded=True))
     session.select_class(EX.Laptop)
-    started = time.perf_counter()
-    session.property_facets()
-    timings["property facets"] = time.perf_counter() - started
-
-    started = time.perf_counter()
-    session.facet((EX.manufacturer, EX.origin, EX.locatedAt))
-    timings["path expansion (3)"] = time.perf_counter() - started
-
+    timed("property facets", session.property_facets)
+    timed("path expansion (3)",
+          lambda: session.facet((EX.manufacturer, EX.origin, EX.locatedAt)))
     session.group_by((EX.manufacturer,))
     session.measure((EX.price,), "AVG")
-    started = time.perf_counter()
-    session.run()
-    timings["analytic run"] = time.perf_counter() - started
+    timed("analytic run", session.run)
     return timings
 
 
@@ -69,9 +76,29 @@ def test_scalability(benchmark, artifact_writer):
 
 
 def test_facet_computation_speed(benchmark):
-    """Micro-benchmark: property facets over a 400-laptop graph."""
+    """Micro-benchmark: property facets over a 400-laptop graph.
+
+    Clears the session's facet cache each round, so what is measured is
+    the id-level computation, not a cache hit.
+    """
     graph = synthetic_graph(SyntheticConfig(laptops=400, seed=21))
     session = FacetedAnalyticsSession(graph)
     session.select_class(EX.Laptop)
+
+    def compute():
+        session._facet_cache.clear()
+        return session.property_facets()
+
+    facets = benchmark(compute)
+    assert len(facets) >= 5
+
+
+def test_facet_cache_hit_speed(benchmark):
+    """The same listing served from the generation-stamped cache."""
+    graph = synthetic_graph(SyntheticConfig(laptops=400, seed=21))
+    session = FacetedAnalyticsSession(graph)
+    session.select_class(EX.Laptop)
+    session.property_facets()  # populate
     facets = benchmark(session.property_facets)
     assert len(facets) >= 5
+    assert session._facet_cache.stats().hits > 0

@@ -24,7 +24,7 @@ matched against IRI local names case-insensitively):
 ``sparql``             show the SPARQL of the current analytic query
 ``intent``             show the current state's intention
 ``search <words>``     keyword search; restart session from the hits
-``health``             endpoint resilience counters (retries, circuit, ...)
+``health``             cache hit rates and endpoint resilience counters
 ``back``               undo the last transition
 ``save`` / ``load``    serialize / restore the interaction (JSON)
 ``help`` / ``quit``
@@ -436,22 +436,28 @@ class AnalyticsShell:
         return f"back to '{state.description}': {len(state.extension)} objects"
 
     def _cmd_health(self, args: List[str]) -> str:
-        """health — resilience counters of an endpoint-backed session."""
+        """health — cache counters, plus resilience counters when the
+        session is endpoint-backed."""
+        lines = ["caches:"]
+        for stats in self.session.cache_stats().values():
+            lines.append(f"  {stats}")
         health = getattr(self.session, "health", None)
         if health is None:
-            return "local session: no endpoint, nothing to report"
+            lines.append("endpoint: none (local session)")
+            return "\n".join(lines)
         report = health()
         outcomes = ", ".join(
             f"{tag}={n}" for tag, n in report["outcomes"].items())
-        return (
-            f"queries: {report['queries']} ({outcomes})\n"
+        lines.extend((
+            f"queries: {report['queries']} ({outcomes})",
             f"retries: {report['retries']}, "
-            f"backoff: {report['backoff_seconds']:.2f}s virtual\n"
-            f"circuit: {report['circuit_state']}\n"
+            f"backoff: {report['backoff_seconds']:.2f}s virtual",
+            f"circuit: {report['circuit_state']}",
             f"degradations: {report['incidents']} "
             f"({report['stale_serves']} served stale, "
-            f"{report['dropped']} dropped)"
-        )
+            f"{report['dropped']} dropped)",
+        ))
+        return "\n".join(lines)
 
     def _cmd_save(self, args: List[str]) -> str:
         return session_to_json(self.session)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.caching import CacheStats, GenerationCache
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import RDF, RDFS
 from repro.rdf.rdfs import SchemaView
@@ -50,6 +51,7 @@ from repro.facets.model import (
     PropertyRef,
     State,
     ValueMarker,
+    _path_joins_ids,
     joins,
     path_joins,
     restrict,
@@ -89,6 +91,12 @@ class FacetedSession:
             individuals = frozenset(self._individuals())
             initial = State(individuals, Intention(), "initial")
         self._history: List[State] = [initial]
+        # Generation-stamped cache for facet counts / class markers /
+        # applicable properties: keyed on (operation, extension, ...),
+        # stamped with the graph generation, so any mutation — including
+        # temp-class materialization and AF-loads — invalidates, and
+        # *back* navigation re-serves earlier states for free.
+        self._facet_cache = GenerationCache(maxsize=512, name="facet-counts")
 
     def _individuals(self) -> Set[Term]:
         """Every typed subject that is not a class or a property."""
@@ -119,6 +127,17 @@ class FacetedSession:
     def history(self) -> List[State]:
         return list(self._history)
 
+    def cache_stats(self) -> Dict[str, CacheStats]:
+        """Hit/miss/eviction counters for every cache the session touches:
+        facet counts, SPARQL result cache, and the parse cache."""
+        from repro.sparql import parse_cache_stats
+
+        return {
+            "facets": self._facet_cache.stats(),
+            "sparql": self.graph.sparql_cache.stats(),
+            "parse": parse_cache_stats(),
+        }
+
     def back(self) -> State:
         """Undo the last transition; stays at the initial state if there."""
         if len(self._history) > 1:
@@ -140,12 +159,28 @@ class FacetedSession:
     # ------------------------------------------------------------------
     def class_markers(self, expanded: bool = False) -> List[ClassMarker]:
         """Top-level class markers; ``expanded`` unfolds the hierarchy
-        (reflexive-transitive reduction, Fig. 5.4 b)."""
-        extension = self.extension
+        (reflexive-transitive reduction, Fig. 5.4 b).
+
+        Counts are id-level intersections of the (once-encoded)
+        extension with the POS index rows of ``rdf:type``; results are
+        served from the generation-stamped cache on repeat.
+        """
+        key = ("classes", self.extension, expanded)
+        generation = self.graph.generation
+        cached = self._facet_cache.get(key, generation, default=None)
+        if cached is not None:
+            return list(cached)
+        graph = self.graph
+        extension_ids = graph.encode_terms(self.extension)
+        type_id = graph.encode_term(RDF.type)
 
         def build(cls: IRI, depth: bool) -> Optional[ClassMarker]:
-            members = restrict_to_class(self.graph, extension, cls)
-            if not members:
+            cls_id = graph.encode_term(cls)
+            count = 0
+            if type_id is not None and cls_id is not None:
+                instances = graph.subjects_ids(type_id, cls_id)
+                count = len(extension_ids & instances)
+            if not count:
                 return None
             children: Tuple[ClassMarker, ...] = ()
             if depth:
@@ -158,13 +193,14 @@ class FacetedSession:
                     if marker is not None:
                         kids.append(marker)
                 children = tuple(kids)
-            return ClassMarker(cls, len(members), children)
+            return ClassMarker(cls, count, children)
 
         markers = []
         for cls in self.schema.maximal_classes():
             marker = build(cls, expanded)
             if marker is not None:
                 markers.append(marker)
+        self._facet_cache.put(key, generation, tuple(markers))
         return markers
 
     def select_class(self, cls: IRI) -> State:
@@ -181,17 +217,35 @@ class FacetedSession:
     )
 
     def applicable_properties(self, include_inverse: bool = False) -> List[PropertyRef]:
-        """Properties with at least one value on the current extension."""
+        """Properties with at least one value on the current extension.
+
+        Discovery walks the SPO (and, for inverses, OSP) index rows of
+        the extension at the id level and decodes each distinct
+        predicate once; repeats come from the generation-stamped cache.
+        """
+        key = ("props", self.extension, include_inverse)
+        generation = self.graph.generation
+        cached = self._facet_cache.get(key, generation, default=None)
+        if cached is not None:
+            return list(cached)
+        graph = self.graph
+        decode = graph.decode_id
+        forward_ids: Set[int] = set()
+        inverse_ids: Set[int] = set()
+        for eid in graph.encode_terms(self.extension):
+            forward_ids.update(graph.spo_ids(eid).keys())
+            if include_inverse and not isinstance(decode(eid), Literal):
+                for preds in graph.osp_ids(eid).values():
+                    inverse_ids.update(preds)
         found: Set[PropertyRef] = set()
-        for e in self.extension:
-            for p in self.graph.predicates(e, None):
+        for ids, inverse in ((forward_ids, False), (inverse_ids, True)):
+            for pid in ids:
+                p = decode(pid)
                 if p not in self._SCHEMA_PROPS and isinstance(p, IRI):
-                    found.add(PropertyRef(p))
-            if include_inverse and not isinstance(e, Literal):
-                for p in self.graph.predicates(None, e):
-                    if p not in self._SCHEMA_PROPS and isinstance(p, IRI):
-                        found.add(PropertyRef(p, inverse=True))
-        return sorted(found, key=lambda r: (r.prop.sort_key(), r.inverse))
+                    found.add(PropertyRef(p, inverse=inverse))
+        refs = sorted(found, key=lambda r: (r.prop.sort_key(), r.inverse))
+        self._facet_cache.put(key, generation, tuple(refs))
+        return refs
 
     def property_facets(self, include_inverse: bool = False) -> List[PropertyFacet]:
         """One facet per applicable property, with value markers+counts."""
@@ -207,29 +261,50 @@ class FacetedSession:
         marker set's edges (grouped join) rather than one ``Restrict``
         per value — the same O(edges) cost regardless of how many
         distinct values the facet has (DESIGN.md design choice 4).
+        The pass runs entirely on int ids against the live index sets
+        and decodes each distinct value once; identical (state, path)
+        requests are served from the generation-stamped cache.
         """
         path = self._normalize_path(path)
-        marker_sets = path_joins(self.graph, self.extension, path)
+        key = ("facet", self.extension, path)
+        generation = self.graph.generation
+        cached = self._facet_cache.get(key, generation, default=None)
+        if cached is not None:
+            return cached
+        facet = self._compute_facet(path)
+        self._facet_cache.put(key, generation, facet)
+        return facet
+
+    def _compute_facet(self, path: Path) -> PropertyFacet:
+        graph = self.graph
+        extension_ids = graph.encode_terms(self.extension)
         previous = (
-            set(self.extension) if len(path) == 1 else marker_sets[-2]
+            extension_ids if len(path) == 1
+            else _path_joins_ids(graph, extension_ids, path[:-1])[-1]
         )
-        counters: Dict[Term, int] = {}
-        having_property = 0
         step = path[-1]
-        for node in previous:
-            if step.inverse:
-                targets = set(self.graph.subjects(step.prop, node)) \
-                    if not isinstance(node, Literal) else set()
-            else:
-                targets = set(self.graph.objects(node, step.prop)) \
-                    if not isinstance(node, Literal) else set()
-            if targets:
+        prop_id = graph.encode_term(step.prop)
+        decode = graph.decode_id
+        counters: Dict[int, int] = {}
+        having_property = 0
+        if prop_id is not None:
+            neighbours = (
+                (lambda n: graph.subjects_ids(prop_id, n)) if step.inverse
+                else (lambda n: graph.objects_ids(n, prop_id))
+            )
+            for node_id in previous:
+                targets = neighbours(node_id)
+                if not targets or isinstance(decode(node_id), Literal):
+                    continue
                 having_property += 1
-            for value in targets:
-                counters[value] = counters.get(value, 0) + 1
+                for value_id in targets:
+                    counters[value_id] = counters.get(value_id, 0) + 1
         values = tuple(
-            ValueMarker(value, counters[value])
-            for value in sorted(counters, key=lambda t: t.sort_key())
+            ValueMarker(value, count)
+            for value, count in sorted(
+                ((decode(vid), n) for vid, n in counters.items()),
+                key=lambda pair: pair[0].sort_key(),
+            )
         )
         return PropertyFacet(path=path, count=having_property, values=values)
 

@@ -6,8 +6,11 @@ parts of the RDF stack that RDF-Analytics needs:
 * :mod:`repro.rdf.terms` — IRIs, blank nodes and typed literals.
 * :mod:`repro.rdf.namespace` — namespace helpers and the RDF/RDFS/XSD/OWL
   vocabularies.
-* :mod:`repro.rdf.graph` — an in-memory triple store with SPO/POS/OSP
-  indexes and pattern matching.
+* :mod:`repro.rdf.dictionary` — dictionary encoding of terms onto dense
+  int ids (the performance substrate of the store).
+* :mod:`repro.rdf.graph` — an in-memory, dictionary-encoded triple store
+  with SPO/POS/OSP indexes, incremental cardinality statistics and
+  pattern matching.
 * :mod:`repro.rdf.rdfs` — RDFS closure (subClassOf, subPropertyOf, domain,
   range) and class/property hierarchies.
 * :mod:`repro.rdf.turtle` / :mod:`repro.rdf.ntriples` — parsers and
@@ -22,6 +25,7 @@ from repro.rdf.terms import (
     Triple,
 )
 from repro.rdf.namespace import Namespace, OWL, RDF, RDFS, XSD, EX
+from repro.rdf.dictionary import PassthroughDictionary, TermDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.rdfs import RDFSClosure, SchemaView
 
@@ -38,6 +42,8 @@ __all__ = [
     "OWL",
     "EX",
     "Graph",
+    "PassthroughDictionary",
     "RDFSClosure",
     "SchemaView",
+    "TermDictionary",
 ]

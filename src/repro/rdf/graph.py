@@ -1,36 +1,125 @@
-"""An in-memory, indexed RDF triple store.
+"""An in-memory, dictionary-encoded, indexed RDF triple store.
 
-The store keeps three permutation indexes (SPO, POS, OSP) as nested
-dictionaries of sets, so every triple-pattern shape resolves through at
-most two dictionary lookups.  This is the classic hexastore-lite layout
-used by small triple stores and is the substrate for both the SPARQL
-evaluator and the faceted-search engine.
+The store interns every term into a :class:`~repro.rdf.dictionary.
+TermDictionary` and keeps three permutation indexes (SPO, POS, OSP) as
+nested dictionaries of *int-id* sets, so every triple-pattern shape
+resolves through at most two dictionary lookups — on int keys, not on
+IRI strings.  Terms are decoded back only at iteration boundaries; the
+decoded instances are canonical (one object per id), so downstream
+equality checks can short-circuit on identity.  This is the classic
+hexastore-lite layout used by small triple stores, made interactive-
+fast by the encoding; it is the substrate for both the SPARQL evaluator
+and the faceted-search engine.
+
+On top of the indexes the store maintains, incrementally on add/remove:
+
+* ``generation`` — a counter bumped by every successful mutation; the
+  query/facet caches stamp their entries with it, which makes staleness
+  detection O(1) (see :mod:`repro.caching`);
+* per-predicate triple counts, so ``count(None, p, None)`` — the join
+  planner's selectivity probe — is O(1) instead of an extent scan
+  (per-(predicate, object) counts are O(1) for free via the POS index).
 
 Pattern matching uses ``None`` as a wildcard::
 
     g.triples(None, RDF.type, EX.Laptop)   # all laptops
     g.objects(item, EX.price)              # prices of one item
+
+``Graph(encoded=False)`` keeps the whole machinery but swaps the
+dictionary for the identity encoding — the seed's term-keyed layout —
+for the ablation benchmark.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
+from repro.caching import GenerationCache
+from repro.rdf.dictionary import PassthroughDictionary, TermDictionary
 from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, triple
+
+#: Shared empty id set returned by the ``*_ids`` accessors on absence.
+EMPTY_IDS: frozenset = frozenset()
 
 
 class Graph:
     """A mutable set of RDF triples with SPO/POS/OSP indexes."""
 
-    def __init__(self, triples: Optional[Iterable[Triple]] = None):
-        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+    def __init__(self, triples: Optional[Iterable[Triple]] = None,
+                 encoded: bool = True):
+        self._dict = TermDictionary() if encoded else PassthroughDictionary()
+        self.encoded = encoded
+        self._spo: Dict[int, Dict[int, Set[int]]] = {}
+        self._pos: Dict[int, Dict[int, Set[int]]] = {}
+        self._osp: Dict[int, Dict[int, Set[int]]] = {}
+        self._pred_count: Dict[int, int] = {}
         self._size = 0
         self._bnode_counter = 0
+        #: Bumped on every successful mutation; stamps cache entries.
+        self.generation = 0
+        #: Generation-stamped SPARQL result cache (see repro.sparql).
+        self.sparql_cache = GenerationCache(maxsize=128, name="sparql-results")
         if triples is not None:
             self.add_all(triples)
+
+    # ------------------------------------------------------------------
+    # Dictionary boundary
+    # ------------------------------------------------------------------
+    @property
+    def dictionary(self):
+        """The term dictionary (read-only use; append-only structure)."""
+        return self._dict
+
+    def encode_term(self, term: Term):
+        """The id of ``term``, or ``None`` if it never entered the graph."""
+        return self._dict.lookup(term)
+
+    def encode_terms(self, terms: Iterable[Term]) -> Set[int]:
+        """Encode many terms, silently dropping unknown ones (which by
+        definition match nothing in the graph)."""
+        lookup = self._dict.lookup
+        out = set()
+        for term in terms:
+            ident = lookup(term)
+            if ident is not None:
+                out.add(ident)
+        return out
+
+    def decode_id(self, ident) -> Term:
+        return self._dict.decode(ident)
+
+    def decode_ids(self, ids) -> Set[Term]:
+        return self._dict.decode_all(ids)
+
+    # ------------------------------------------------------------------
+    # Id-level index views (hot paths: facets, joins).  The returned
+    # sets/dicts are the live internals — treat them as read-only.
+    # ------------------------------------------------------------------
+    def objects_ids(self, si, pi):
+        """Ids of ``{o | (s, p, o) ∈ G}`` for encoded subject/predicate."""
+        po = self._spo.get(si)
+        if po is None:
+            return EMPTY_IDS
+        return po.get(pi, EMPTY_IDS)
+
+    def subjects_ids(self, pi, oi):
+        """Ids of ``{s | (s, p, o) ∈ G}`` for encoded predicate/object."""
+        os_ = self._pos.get(pi)
+        if os_ is None:
+            return EMPTY_IDS
+        return os_.get(oi, EMPTY_IDS)
+
+    def spo_ids(self, si) -> Dict[int, Set[int]]:
+        """The predicate → object-ids map of one encoded subject."""
+        return self._spo.get(si) or {}
+
+    def pos_ids(self, pi) -> Dict[int, Set[int]]:
+        """The object → subject-ids map of one encoded predicate."""
+        return self._pos.get(pi) or {}
+
+    def osp_ids(self, oi) -> Dict[int, Set[int]]:
+        """The subject → predicate-ids map of one encoded object."""
+        return self._osp.get(oi) or {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -38,13 +127,34 @@ class Graph:
     def add(self, s: Term, p: Term, o: Term) -> bool:
         """Add a triple; returns ``True`` if it was not already present."""
         s, p, o = triple(s, p, o)
-        objects = self._spo[s][p]
-        if o in objects:
+        encode = self._dict.encode
+        si, pi, oi = encode(s), encode(p), encode(o)
+        po = self._spo.get(si)
+        if po is None:
+            po = self._spo[si] = {}
+        objects = po.get(pi)
+        if objects is None:
+            objects = po[pi] = set()
+        if oi in objects:
             return False
-        objects.add(o)
-        self._pos[p][o].add(s)
-        self._osp[o][s].add(p)
+        objects.add(oi)
+        os_ = self._pos.get(pi)
+        if os_ is None:
+            os_ = self._pos[pi] = {}
+        subjects = os_.get(oi)
+        if subjects is None:
+            subjects = os_[oi] = set()
+        subjects.add(si)
+        sp = self._osp.get(oi)
+        if sp is None:
+            sp = self._osp[oi] = {}
+        preds = sp.get(si)
+        if preds is None:
+            preds = sp[si] = set()
+        preds.add(pi)
         self._size += 1
+        self._pred_count[pi] = self._pred_count.get(pi, 0) + 1
+        self.generation += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -56,14 +166,48 @@ class Graph:
         return added
 
     def remove(self, s: Term, p: Term, o: Term) -> bool:
-        """Remove one triple; returns ``True`` if it was present."""
-        objects = self._spo.get(s, {}).get(p)
-        if not objects or o not in objects:
+        """Remove one triple; returns ``True`` if it was present.
+
+        Emptied index slots are pruned eagerly, so add → remove cycles
+        (e.g. the temp-class device materializing extensions) leave the
+        index maps exactly as they were — no unbounded slot growth.
+        """
+        lookup = self._dict.lookup
+        si, pi, oi = lookup(s), lookup(p), lookup(o)
+        if si is None or pi is None or oi is None:
             return False
-        objects.discard(o)
-        self._pos[p][o].discard(s)
-        self._osp[o][s].discard(p)
+        po = self._spo.get(si)
+        if po is None:
+            return False
+        objects = po.get(pi)
+        if objects is None or oi not in objects:
+            return False
+        objects.remove(oi)
+        if not objects:
+            del po[pi]
+            if not po:
+                del self._spo[si]
+        os_ = self._pos[pi]
+        subjects = os_[oi]
+        subjects.remove(si)
+        if not subjects:
+            del os_[oi]
+            if not os_:
+                del self._pos[pi]
+        sp = self._osp[oi]
+        preds = sp[si]
+        preds.remove(pi)
+        if not preds:
+            del sp[si]
+            if not sp:
+                del self._osp[oi]
         self._size -= 1
+        remaining = self._pred_count[pi] - 1
+        if remaining:
+            self._pred_count[pi] = remaining
+        else:
+            del self._pred_count[pi]
+        self.generation += 1
         return True
 
     def new_bnode(self) -> BNode:
@@ -80,68 +224,128 @@ class Graph:
         p: Optional[Term] = None,
         o: Optional[Term] = None,
     ) -> Iterator[Triple]:
-        """Iterate all triples matching the pattern (``None`` = wildcard)."""
+        """Iterate all triples matching the pattern (``None`` = wildcard).
+
+        Yielded terms are the canonical (interned) instances, so
+        consumers may compare them by identity first.
+        """
+        lookup = self._dict.lookup
+        decode = self._dict.decode
         if s is not None:
-            po = self._spo.get(s)
+            si = lookup(s)
+            if si is None:
+                return
+            po = self._spo.get(si)
             if po is None:
                 return
             if p is not None:
-                objects = po.get(p)
+                pi = lookup(p)
+                objects = po.get(pi) if pi is not None else None
                 if objects is None:
                     return
                 if o is not None:
-                    if o in objects:
+                    oi = lookup(o)
+                    if oi is not None and oi in objects:
                         yield (s, p, o)
                     return
-                for obj in objects:
-                    yield (s, p, obj)
+                for oi in objects:
+                    yield (s, p, decode(oi))
                 return
-            for pred, objects in po.items():
-                if o is not None:
-                    if o in objects:
-                        yield (s, pred, o)
-                else:
-                    for obj in objects:
-                        yield (s, pred, obj)
+            if o is not None:
+                oi = lookup(o)
+                if oi is None:
+                    return
+                for pi, objects in po.items():
+                    if oi in objects:
+                        yield (s, decode(pi), o)
+                return
+            for pi, objects in po.items():
+                pred = decode(pi)
+                for oi in objects:
+                    yield (s, pred, decode(oi))
             return
         if p is not None:
-            os_ = self._pos.get(p)
+            pi = lookup(p)
+            if pi is None:
+                return
+            os_ = self._pos.get(pi)
             if os_ is None:
                 return
             if o is not None:
-                for subj in os_.get(o, ()):
-                    yield (subj, p, o)
+                oi = lookup(o)
+                if oi is None:
+                    return
+                for si in os_.get(oi, EMPTY_IDS):
+                    yield (decode(si), p, o)
                 return
-            for obj, subjects in os_.items():
-                for subj in subjects:
-                    yield (subj, p, obj)
+            for oi, subjects in os_.items():
+                obj = decode(oi)
+                for si in subjects:
+                    yield (decode(si), p, obj)
             return
         if o is not None:
-            sp = self._osp.get(o)
+            oi = lookup(o)
+            if oi is None:
+                return
+            sp = self._osp.get(oi)
             if sp is None:
                 return
-            for subj, preds in sp.items():
-                for pred in preds:
-                    yield (subj, pred, o)
+            for si, preds in sp.items():
+                subj = decode(si)
+                for pi in preds:
+                    yield (subj, decode(pi), o)
             return
-        for subj, po in self._spo.items():
-            for pred, objects in po.items():
-                for obj in objects:
-                    yield (subj, pred, obj)
+        for si, po in self._spo.items():
+            subj = decode(si)
+            for pi, objects in po.items():
+                pred = decode(pi)
+                for oi in objects:
+                    yield (subj, pred, decode(oi))
 
     def __contains__(self, t: Triple) -> bool:
         s, p, o = t
-        return o in self._spo.get(s, {}).get(p, ())
+        lookup = self._dict.lookup
+        si, pi, oi = lookup(s), lookup(p), lookup(o)
+        if si is None or pi is None or oi is None:
+            return False
+        po = self._spo.get(si)
+        if po is None:
+            return False
+        return oi in po.get(pi, EMPTY_IDS)
 
     def count(self, s=None, p=None, o=None) -> int:
-        """Number of triples matching the pattern, without materializing."""
+        """Number of triples matching the pattern, without materializing.
+
+        The patterns the join planner and the facet engine probe are
+        O(1): the full size, ``(None, p, None)`` via the incremental
+        per-predicate counters, and the ``(s, p, None)`` /
+        ``(None, p, o)`` shapes via direct index-set sizes.
+        """
         if s is None and p is None and o is None:
             return self._size
+        lookup = self._dict.lookup
+        if s is None and p is not None:
+            pi = lookup(p)
+            if pi is None:
+                return 0
+            if o is None:
+                return self._pred_count.get(pi, 0)
+            oi = lookup(o)
+            if oi is None:
+                return 0
+            return len(self.subjects_ids(pi, oi))
         if s is not None and p is not None and o is None:
-            return len(self._spo.get(s, {}).get(p, ()))
-        if p is not None and o is not None and s is None:
-            return len(self._pos.get(p, {}).get(o, ()))
+            si = lookup(s)
+            pi = lookup(p)
+            if si is None or pi is None:
+                return 0
+            return len(self.objects_ids(si, pi))
         return sum(1 for _ in self.triples(s, p, o))
+
+    def predicate_counts(self) -> Dict[Term, int]:
+        """Triple count per predicate — the O(1)-maintained statistics."""
+        decode = self._dict.decode
+        return {decode(pi): n for pi, n in self._pred_count.items()}
 
     # ------------------------------------------------------------------
     # Single-slot accessors
@@ -181,25 +385,27 @@ class Graph:
     # Whole-graph views
     # ------------------------------------------------------------------
     def all_subjects(self) -> Set[Term]:
-        return set(self._spo.keys())
+        return self._dict.decode_all(self._spo.keys())
 
     def all_predicates(self) -> Set[Term]:
-        return set(self._pos.keys())
+        return self._dict.decode_all(self._pos.keys())
 
     def all_objects(self) -> Set[Term]:
-        return set(self._osp.keys())
+        return self._dict.decode_all(self._osp.keys())
 
     def all_terms(self) -> Set[Term]:
         return self.all_subjects() | self.all_predicates() | self.all_objects()
 
     def all_resources(self) -> Set[Term]:
         """All IRIs and blank nodes appearing as subject or object."""
-        nodes = set(self._spo.keys())
-        nodes.update(o for o in self._osp.keys() if isinstance(o, (IRI, BNode)))
+        nodes = self.all_subjects()
+        nodes.update(
+            o for o in self.all_objects() if isinstance(o, (IRI, BNode))
+        )
         return nodes
 
     def all_literals(self) -> Set[Literal]:
-        return {o for o in self._osp.keys() if isinstance(o, Literal)}
+        return {o for o in self.all_objects() if isinstance(o, Literal)}
 
     def __len__(self) -> int:
         return self._size
@@ -222,7 +428,7 @@ class Graph:
     # Set operations
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
-        return Graph(self.triples())
+        return Graph(self.triples(), encoded=self.encoded)
 
     def union(self, other: "Graph") -> "Graph":
         result = self.copy()
@@ -230,8 +436,12 @@ class Graph:
         return result
 
     def difference(self, other: "Graph") -> "Graph":
-        return Graph(t for t in self if t not in other)
+        return Graph(
+            (t for t in self if t not in other), encoded=self.encoded
+        )
 
     def filter_subjects(self, subjects: Set[Term]) -> "Graph":
         """The sub-graph of triples whose subject is in ``subjects``."""
-        return Graph(t for t in self if t[0] in subjects)
+        return Graph(
+            (t for t in self if t[0] in subjects), encoded=self.encoded
+        )

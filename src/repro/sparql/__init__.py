@@ -24,7 +24,7 @@ Typical use::
 """
 
 from repro.sparql.errors import SparqlError, SparqlParseError, SparqlEvalError
-from repro.sparql.parser import parse_query
+from repro.sparql.parser import clear_parse_cache, parse_cache_stats, parse_query
 from repro.sparql.evaluator import evaluate, query
 from repro.sparql.results import Row, SelectResult
 
@@ -32,6 +32,8 @@ __all__ = [
     "SparqlError",
     "SparqlParseError",
     "SparqlEvalError",
+    "clear_parse_cache",
+    "parse_cache_stats",
     "parse_query",
     "evaluate",
     "query",

@@ -207,37 +207,72 @@ def _slot_value(slot, solution: Solution):
 def _match_pattern(pattern: ast.TriplePattern, solutions: List[Solution],
                    graph: Graph) -> List[Solution]:
     out: List[Solution] = []
+    slots = (pattern.s, pattern.p, pattern.o)
     for solution in solutions:
         s = _slot_value(pattern.s, solution)
         p = _slot_value(pattern.p, solution)
         o = _slot_value(pattern.o, solution)
-        for ts, tp, to in graph.triples(s, p, o):
-            extended = dict(solution)
+        if s is not None and p is not None and o is not None:
+            # Fully bound under this solution: a containment probe, and
+            # the surviving solution is reused as-is (no dict copy).
+            if (s, p, o) in graph:
+                out.append(solution)
+            continue
+        for matched in graph.triples(s, p, o):
+            # Copy lazily: only a pattern that binds a *new* variable
+            # needs its own solution dict.  The graph yields canonical
+            # term instances, so the equality check can short-circuit
+            # on identity before falling back to value comparison.
+            extended: Optional[Solution] = None
             ok = True
-            for slot, term in ((pattern.s, ts), (pattern.p, tp), (pattern.o, to)):
+            for slot, term in zip(slots, matched):
                 if isinstance(slot, ast.Var):
-                    bound = extended.get(slot.name)
+                    bound = (extended or solution).get(slot.name)
                     if bound is None:
+                        if extended is None:
+                            extended = dict(solution)
                         extended[slot.name] = term
-                    elif bound != term:
+                    elif bound is not term and bound != term:
                         ok = False
                         break
             if ok:
-                out.append(extended)
+                out.append(solution if extended is None else extended)
     return out
 
 
 def _pattern_selectivity(pattern: ast.TriplePattern, solution_vars: set,
                          graph: Graph) -> Tuple[int, int]:
-    """Heuristic: patterns with more bound slots first, then smaller index."""
+    """Heuristic: patterns with more bound slots first, then smaller index.
+
+    The cardinality probes are O(1): the store maintains per-predicate
+    counters incrementally, and the per-(predicate, object) extent is a
+    direct POS index-set size — so re-planning on every block flush
+    costs nothing even on large graphs.
+    """
     bound = 0
     for slot in (pattern.s, pattern.p, pattern.o):
         if not isinstance(slot, ast.Var) or slot.name in solution_vars:
             bound += 1
     estimate = len(graph)
     if not isinstance(pattern.p, ast.Var):
-        estimate = graph.count(None, pattern.p, None)
+        if not isinstance(pattern.o, ast.Var):
+            estimate = graph.count(None, pattern.p, pattern.o)
+        else:
+            estimate = graph.count(None, pattern.p, None)
     return (-bound, estimate)
+
+
+def plan_block(block: List[ast.TriplePattern], bound_vars: set,
+               graph: Graph) -> List[ast.TriplePattern]:
+    """The evaluation order of one basic block: most selective first.
+
+    Exposed for the planner tests; :func:`_eval_group` re-sorts the
+    remaining patterns after each join so freshly bound variables count
+    as bound slots in the next pick.
+    """
+    return sorted(
+        block, key=lambda tp: _pattern_selectivity(tp, bound_vars, graph)
+    )
 
 
 def _step_targets(graph: Graph, node: Term, step: ast.PredicatePath):
@@ -366,7 +401,7 @@ def _eval_group(group: ast.GroupPattern, solutions: List[Solution],
                 bound_vars = set(current[0].keys())
                 for sol in current:
                     bound_vars &= set(sol.keys())
-            block.sort(key=lambda tp: _pattern_selectivity(tp, bound_vars, graph))
+            block = plan_block(block, bound_vars, graph)
             tp = block.pop(0)
             current = _match_pattern(tp, current, graph)
             if not current:
@@ -767,10 +802,37 @@ def evaluate(parsed, graph: Graph):
     raise SparqlEvalError(f"cannot evaluate {type(parsed).__name__}")
 
 
-def query(graph: Graph, text: str):
+def query(graph: Graph, text: str, use_cache: bool = True):
     """Parse and evaluate SPARQL ``text`` over ``graph``.
 
     Returns a :class:`SelectResult` for SELECT, a :class:`bool` for ASK,
     and a :class:`Graph` for CONSTRUCT.
+
+    SELECT and ASK answers are cached on the graph, stamped with the
+    graph's mutation generation: any add/remove (including temp-class
+    materialization) bumps the generation and silently invalidates
+    every prior entry, so a stale answer can never be served.  A cache
+    hit returns a fresh :class:`SelectResult` wrapper over the shared
+    (treat-as-immutable) rows.  CONSTRUCT answers are mutable graphs
+    and are never cached.  ``use_cache=False`` bypasses the cache for
+    both lookup and store (used by benchmarks measuring the engine).
     """
-    return evaluate(parse_query(text), graph)
+    cache = getattr(graph, "sparql_cache", None) if use_cache else None
+    if cache is None:
+        return evaluate(parse_query(text), graph)
+    generation = graph.generation
+    cached = cache.get(text, generation, default=None)
+    if cached is not None:
+        kind, payload = cached
+        if kind == "select":
+            return SelectResult(payload.variables, list(payload.rows))
+        return payload  # ASK boolean
+    result = evaluate(parse_query(text), graph)
+    if isinstance(result, SelectResult):
+        # Snapshot the row list: the caller owns `result` and may
+        # mutate its list in place, which must not reach the cache.
+        snapshot = SelectResult(result.variables, list(result.rows))
+        cache.put(text, generation, ("select", snapshot))
+    elif isinstance(result, bool):
+        cache.put(text, generation, ("ask", result))
+    return result

@@ -17,6 +17,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional as Opt, Tuple
 
+from repro.caching import CacheStats, LRUCache, MISSING
 from repro.rdf.namespace import WELL_KNOWN_PREFIXES
 from repro.rdf.terms import (
     BNode,
@@ -859,6 +860,34 @@ class _Parser:
         return ast.Aggregate(name, expr, distinct, separator)
 
 
-def parse_query(text: str):
-    """Parse SPARQL text into an AST (SelectQuery / AskQuery / ConstructQuery)."""
-    return _Parser(text).parse()
+#: Query text → AST.  Parsing is pure and ASTs are frozen dataclasses,
+#: so entries never go stale; the bound keeps pathological workloads
+#: (millions of distinct query strings) from growing memory.
+_PARSE_CACHE = LRUCache(maxsize=512, name="sparql-parse")
+
+
+def parse_query(text: str, use_cache: bool = True):
+    """Parse SPARQL text into an AST (SelectQuery / AskQuery / ConstructQuery).
+
+    Repeated texts are served from an LRU cache — the facet engine and
+    the HIFUN translator re-issue structurally identical queries on
+    every interaction, so parsing would otherwise dominate small-graph
+    latencies.  Pass ``use_cache=False`` to force a fresh parse (used
+    by the parser benchmarks).
+    """
+    if not use_cache:
+        return _Parser(text).parse()
+    parsed = _PARSE_CACHE.get(text, MISSING)
+    if parsed is MISSING:
+        parsed = _Parser(text).parse()
+        _PARSE_CACHE.put(text, parsed)
+    return parsed
+
+
+def parse_cache_stats() -> CacheStats:
+    """Hit/miss counters of the text → AST cache."""
+    return _PARSE_CACHE.stats()
+
+
+def clear_parse_cache() -> None:
+    _PARSE_CACHE.clear()
