@@ -1,12 +1,35 @@
 # Convenience targets for the RDF-Analytics reproduction.
 
-.PHONY: install test bench bench-smoke chaos examples all clean
+.PHONY: install test lint typecheck check bench bench-smoke chaos examples all clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
 
 test:
 	pytest tests/
+
+# Static analysis gates.  Both prefer the real tools (configured in
+# pyproject.toml) and fall back to the hermetic stdlib checker in
+# tools/static_check.py when ruff/mypy are not installed — nothing can
+# be pip-installed in the CI container.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tools benchmarks; \
+	else \
+		echo "ruff not found; using tools/static_check.py fallback"; \
+		python tools/static_check.py --lint src/repro tools benchmarks; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not found; using tools/static_check.py fallback"; \
+		python tools/static_check.py --typecheck src/repro/rdf src/repro/hifun src/repro/analysis; \
+	fi
+
+# The default verify path: lint + typecheck + the full test suite.
+check: lint typecheck test
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -8,7 +8,6 @@ does) against recomputing the subclass traversal on demand.
 
 import time
 
-import pytest
 
 from repro.datasets import SyntheticConfig, synthetic_graph
 from repro.rdf.namespace import EX, RDF, RDFS

@@ -9,7 +9,6 @@ a high-cardinality facet and asserts identical counts.
 
 import time
 
-import pytest
 
 from repro.datasets import SyntheticConfig, synthetic_graph
 from repro.facets import FacetedSession

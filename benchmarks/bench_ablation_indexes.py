@@ -8,7 +8,6 @@ representative analytic query.
 
 import time
 
-import pytest
 
 from repro.datasets import SyntheticConfig, synthetic_graph
 from repro.hifun import translate

@@ -8,7 +8,6 @@ datasets; answers asserted identical.
 
 import time
 
-import pytest
 
 from repro.datasets import make_invoices
 from repro.hifun import Attribute, HifunQuery, evaluate_hifun, pair

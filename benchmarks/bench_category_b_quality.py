@@ -6,7 +6,6 @@ space).  This bench answers each example shape over the bundled and
 synthetic datasets and publishes the statistics as VoID.
 """
 
-import pytest
 
 from repro.datasets import SyntheticConfig, products_graph, synthetic_graph
 from repro.rdf.namespace import EX, RDF

@@ -8,7 +8,6 @@ tabular answer (Fig. 6.3a), the answer loaded as a new dataset
 (Figs 6.4/6.5) as layout data.
 """
 
-import pytest
 
 from repro.datasets import products_graph
 from repro.facets import FacetedAnalyticsSession

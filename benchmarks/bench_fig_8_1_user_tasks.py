@@ -7,7 +7,6 @@ mean 1–5 rating from the simulated cohorts (see DESIGN.md,
 ratings trending down as task difficulty grows.
 """
 
-import pytest
 
 from repro.datasets import products_graph
 from repro.evaluation import EVALUATION_TASKS, run_user_study

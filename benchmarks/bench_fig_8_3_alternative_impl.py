@@ -10,7 +10,6 @@ trade-off the "testing implementability" section (§8.2) is about.
 
 import time
 
-import pytest
 
 from repro.datasets import SyntheticConfig, synthetic_graph
 from repro.facets import FacetedSession, SparqlFacetEngine

@@ -8,7 +8,6 @@ workload (derived-attribute *restrictions* are the documented boundary:
 they need the transformation button first).
 """
 
-import pytest
 
 from repro.datasets import SyntheticConfig, synthetic_graph
 from repro.facets import FacetedAnalyticsSession, plan_interaction, execute_plan

@@ -7,7 +7,6 @@ answer equals the native HIFUN evaluation, and benchmarks the raw
 translation throughput.
 """
 
-import pytest
 
 from repro.datasets import invoices_graph
 from repro.hifun import (

@@ -15,6 +15,9 @@ Layered public API:
 * :mod:`repro.facets` — faceted search over RDF and its analytics
   extension (Ch. 5): states, transitions with counts, G/Σ actions,
   answer frames, nested queries;
+* :mod:`repro.analysis` — schema-aware static analysis: HIFUN
+  type-checking, SPARQL linting and translation-consistency checks
+  (strict mode via ``FacetedSession(analyze=True)``);
 * :mod:`repro.olap` — roll-up/drill-down/slice/dice/pivot (Ch. 7);
 * :mod:`repro.viz` — tables, chart series, the spiral layout and the
   3D city metaphor (§6.3);
@@ -45,6 +48,7 @@ __all__ = [
     "rdf",
     "sparql",
     "hifun",
+    "analysis",
     "facets",
     "olap",
     "viz",

@@ -1,0 +1,49 @@
+"""Schema-aware static analysis of HIFUN and SPARQL queries.
+
+The package rejects ill-typed analytics *before* the triple store is
+touched:
+
+* :func:`infer_schema` derives per-property signatures (domains, ranges,
+  datatypes, functionality) from a :class:`~repro.rdf.graph.Graph`;
+* :func:`check_hifun` / :func:`analyze_hifun` type-check a
+  :class:`~repro.hifun.query.HifunQuery` against those signatures
+  (codes ``H001``–``H009``);
+* :func:`lint_sparql` lints SPARQL text or a parsed AST
+  (codes ``S000``–``S005``);
+* :func:`check_translation` asserts both layers agree on
+  :func:`~repro.hifun.translator.translate` output — the executable
+  shadow of Propositions 1–2 (codes ``C001``–``C002``).
+
+Every finding is a :class:`Diagnostic` inside an :class:`AnalysisReport`;
+strict callers use :meth:`AnalysisReport.raise_if_errors`, which raises
+:class:`StaticAnalysisError` on error-severity findings only.
+"""
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    StaticAnalysisError,
+)
+from repro.analysis.schema import (
+    PropertySignature,
+    SchemaInfo,
+    infer_schema,
+)
+from repro.analysis.hifun_checker import analyze_hifun, check_hifun
+from repro.analysis.sparql_lint import lint_sparql
+from repro.analysis.consistency import check_translation
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "StaticAnalysisError",
+    "PropertySignature",
+    "SchemaInfo",
+    "infer_schema",
+    "analyze_hifun",
+    "check_hifun",
+    "lint_sparql",
+    "check_translation",
+]

@@ -19,6 +19,7 @@ matched against IRI local names case-insensitively):
 ``inspect <resource>`` browse: view a resource's card
 ``goto <resource>``    browse: follow an edge to a neighbour
 ``similar``            browse: the most similar resources
+``analyze``            static-check the analytic query + its SPARQL
 ``run``                execute the analytic query; prints the answer
 ``explore``            load the last answer as a new dataset
 ``sparql``             show the SPARQL of the current analytic query
@@ -92,6 +93,7 @@ class AnalyticsShell:
             "inspect": self._cmd_inspect,
             "goto": self._cmd_goto,
             "similar": self._cmd_similar,
+            "analyze": self._cmd_analyze,
             "run": self._cmd_run,
             "explore": self._cmd_explore,
             "sparql": self._cmd_sparql,
@@ -396,6 +398,18 @@ class AnalyticsShell:
         names = ", ".join(r.prop.local_name() for r in refs)
         return f"created {len(refs)} derived facet(s): {names}"
 
+    def _cmd_analyze(self, args: List[str]) -> str:
+        """analyze — run the static analyzers over the current analytic
+        query and its SPARQL translation; never executes anything."""
+        report = self.session.analyze_query()
+        counts = []
+        if report.errors:
+            counts.append(f"{len(report.errors)} error(s)")
+        if report.warnings:
+            counts.append(f"{len(report.warnings)} warning(s)")
+        summary = ", ".join(counts) if counts else "clean"
+        return f"{report.render()}\n[{summary}]"
+
     def _cmd_run(self, args: List[str]) -> str:
         frame = self.session.run()
         self.last_frame = frame
@@ -506,6 +520,9 @@ def build_shell(argv=None) -> AnalyticsShell:
                         help="per-query deadline in (virtual) seconds")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for latency, fault and backoff sampling")
+    parser.add_argument("--analyze", action="store_true",
+                        help="strict mode: statically reject ill-typed "
+                        "analytic queries before execution")
     args = parser.parse_args(argv)
     if not 0.0 <= args.fault_rate <= 1.0:
         parser.error(f"--fault-rate must be in [0, 1], got {args.fault_rate}")
@@ -514,6 +531,12 @@ def build_shell(argv=None) -> AnalyticsShell:
     resilient = (args.network != "local" or args.fault_rate > 0.0
                  or args.retries is not None or args.timeout is not None)
     if not resilient:
+        if args.analyze:
+            return AnalyticsShell(
+                graph,
+                session_factory=lambda g, results=None:
+                    FacetedAnalyticsSession(g, results=results, analyze=True),
+            )
         return AnalyticsShell(graph)
 
     from repro.endpoint import (
@@ -541,7 +564,8 @@ def build_shell(argv=None) -> AnalyticsShell:
     def session_factory(g, results=None):
         return ResilientFacetedSession(
             g, results=results, endpoint_factory=endpoint_factory,
-            retry=retry, timeout=args.timeout, seed=args.seed)
+            retry=retry, timeout=args.timeout, seed=args.seed,
+            analyze=args.analyze)
 
     return AnalyticsShell(graph, session_factory=session_factory)
 

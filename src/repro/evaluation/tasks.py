@@ -21,7 +21,7 @@ from typing import Callable, List, Tuple
 
 from repro.rdf.namespace import EX
 from repro.rdf.terms import Literal
-from repro.facets.analytics import AnswerFrame, FacetedAnalyticsSession
+from repro.facets.analytics import FacetedAnalyticsSession
 
 
 @dataclass(frozen=True)

@@ -271,11 +271,13 @@ class FacetedAnalyticsSession(FacetedSession):
     """Faceted search extended with the analytic actions of §5.1."""
 
     def __init__(self, graph: Graph, results: Optional[Iterable[Term]] = None,
-                 closed: bool = False):
-        super().__init__(graph, results=results, closed=closed)
+                 closed: bool = False, analyze: bool = False):
+        super().__init__(graph, results=results, closed=closed, analyze=analyze)
         self._groups: List[GroupSpec] = []
         self._measure: Optional[MeasureSpec] = None
         self._with_count = False
+        #: strict-mode memo: (schema, (query, root_class), report)
+        self._analysis_memo = None
 
     # ------------------------------------------------------------------
     # Button state
@@ -382,6 +384,55 @@ class FacetedAnalyticsSession(FacetedSession):
         at the temporary extension class (Table 5.1)."""
         return translate(self.hifun_query(), root_class=TEMP_CLASS)
 
+    # ------------------------------------------------------------------
+    # Static analysis (repro.analysis)
+    # ------------------------------------------------------------------
+    def analyze_query(self, query: Optional[HifunQuery] = None,
+                      root_class: Optional[IRI] = None):
+        """Statically analyze an analytic query (default: the current
+        button state) and its SPARQL translation.
+
+        Returns the merged :class:`repro.analysis.AnalysisReport` of the
+        HIFUN checker, the SPARQL linter over the translation, and the
+        cross-layer consistency check — without touching the triple
+        store beyond (cached) schema inference.
+        """
+        from repro.analysis import check_translation
+
+        if query is None:
+            query = self.hifun_query()
+        return check_translation(
+            query, root_class=root_class or TEMP_CLASS, graph=self.graph
+        )
+
+    def _static_check(self, query: HifunQuery,
+                      root_class: Optional[IRI] = None) -> None:
+        """Strict-mode gate: when the session was opened with
+        ``analyze=True``, reject ill-typed queries *before* any
+        evaluation or temp-class materialization; warnings are emitted
+        but never block."""
+        if not self.analyze:
+            return
+        import warnings
+
+        from repro.analysis import check_hifun, infer_schema
+
+        # Checking is pure in (query, schema): memoize the last report so
+        # re-running an unchanged button state costs an equality test, not
+        # a fresh walk.  ``schema`` is compared by identity — infer_schema
+        # returns the same object while the graph generation stands.
+        schema = infer_schema(self.graph)
+        memo = self._analysis_memo
+        if (memo is not None and memo[0] is schema
+                and memo[1] == (query, root_class)):
+            report = memo[2]
+        else:
+            report = check_hifun(query, schema, root_class, self.graph)
+            self._analysis_memo = (schema, (query, root_class), report)
+        report.raise_if_errors()
+        for diagnostic in report.warnings:
+            warnings.warn(str(diagnostic), stacklevel=3)
+
     def hifun_query_with_restrictions(self):
         """The state intention folded into the HIFUN query (§5.5).
 
@@ -465,6 +516,7 @@ class FacetedAnalyticsSession(FacetedSession):
             lambda text: sparql_query(self.graph, text))
         if engine == "restrictions":
             restricted, root_class = self.hifun_query_with_restrictions()
+            self._static_check(restricted, root_class)
             translation = translate(restricted, root_class=root_class)
             result = evaluate(translation.text)
             columns = translation.answer_columns
@@ -472,6 +524,7 @@ class FacetedAnalyticsSession(FacetedSession):
             rows.sort(key=_row_sort_key)
             return AnswerFrame(columns, rows, restricted, translation)
         query = self.hifun_query()
+        self._static_check(query)
         if engine == "native":
             answer = evaluate_hifun(self.graph, query, items=self.extension)
             columns = [g.label for g in self._groups]

@@ -20,7 +20,7 @@ implements exactly that session:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import RDF, RDFS

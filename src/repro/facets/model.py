@@ -16,7 +16,7 @@ Implements the formal machinery:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import RDF

@@ -105,8 +105,9 @@ class ResilientFacetedSession(FacetedAnalyticsSession):
         breaker=_DEFAULT_BREAKER,
         seed: int = 0,
         think_seconds: float = 2.0,
+        analyze: bool = False,
     ):
-        super().__init__(graph, results=results, closed=closed)
+        super().__init__(graph, results=results, closed=closed, analyze=analyze)
         if endpoint_factory is None:
             if network is not None or faults is not None:
                 endpoint_factory = lambda g: FlakyEndpointSimulator(

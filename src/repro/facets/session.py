@@ -74,13 +74,19 @@ class FacetedSession:
         graph: Graph,
         results: Optional[Iterable[Term]] = None,
         closed: bool = False,
+        analyze: bool = False,
     ):
         """Start a session (the *Startup* of §5.4.1).
 
         ``results`` starts the session from an external result set (e.g.
         a keyword query) instead of from scratch.  ``closed`` marks the
-        graph as already RDFS-closed.
+        graph as already RDFS-closed.  ``analyze`` turns on strict static
+        analysis: analytic queries are type-checked against the inferred
+        schema before any evaluation, and
+        :class:`repro.analysis.StaticAnalysisError` is raised on
+        error-severity findings (warnings are emitted via ``warnings``).
         """
+        self.analyze = analyze
         self.schema = SchemaView(graph, closed=closed)
         self.graph = self.schema.graph
         if results is not None:

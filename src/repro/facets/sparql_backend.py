@@ -57,6 +57,9 @@ def temp_extension(graph: Graph, extension: Iterable[Term], cls: IRI = TEMP):
     ``graph.add`` itself dies half-way — every triple that was added is
     removed on exit.
     """
+    from repro.analysis.schema import revalidate_schema_cache
+
+    start = graph.generation
     added: List[tuple] = []
     try:
         for item in extension:
@@ -70,6 +73,13 @@ def temp_extension(graph: Graph, extension: Iterable[Term], cls: IRI = TEMP):
     finally:
         for triple in added:
             graph.remove(*triple)
+        # Every add/remove bumps the generation by exactly one, so this
+        # equality proves the round-trip was the only mutation — the
+        # graph content is back to what it was, and any schema inferred
+        # for it is still exact.  Without this, strict mode would
+        # re-infer the schema on every single run().
+        if graph.generation == start + 2 * len(added):
+            revalidate_schema_cache(graph)
 
 
 class SparqlFacetEngine:

@@ -17,7 +17,7 @@ caller can pick a Feature Creation Operator (Table 4.1) to repair them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import RDF

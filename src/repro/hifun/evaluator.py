@@ -33,6 +33,7 @@ from repro.hifun.attributes import (
     Pairing,
     paths_of,
 )
+from repro.hifun.query import HifunQuery, Restriction
 from repro.sparql.errors import ExpressionError
 from repro.sparql.functions import BUILTINS, aggregate as reduce_values, compare
 
@@ -82,14 +83,14 @@ def _step_values(graph: Graph, node: Term, step: AttributeExpr) -> List[Term]:
     return sorted(graph.objects(node, step.prop), key=lambda t: t.sort_key())
 
 
-def _value_passes(value: Term, restriction) -> bool:
+def _value_passes(value: Term, restriction: Restriction) -> bool:
     try:
         return compare(restriction.comparator, value, restriction.value)
     except ExpressionError:
         return False
 
 
-def _satisfies(graph: Graph, item: Term, restriction) -> bool:
+def _satisfies(graph: Graph, item: Term, restriction: Restriction) -> bool:
     """True if the item has at least one value satisfying the restriction."""
     values = attribute_values(graph, item, restriction.attribute)
     for value in values:
@@ -114,7 +115,7 @@ class AnswerFunction:
         self.operations = operations
         self._data: Dict[Tuple[Term, ...], Dict[str, Optional[Term]]] = {}
 
-    def set(self, key: Tuple[Term, ...], values: Dict[str, Optional[Term]]):
+    def set(self, key: Tuple[Term, ...], values: Dict[str, Optional[Term]]) -> None:
         self._data[key] = values
 
     def __getitem__(self, key) -> Dict[str, Optional[Term]]:
@@ -153,7 +154,7 @@ class AnswerFunction:
         return f"<AnswerFunction groups={len(self._data)} ops={self.operations}>"
 
 
-def evaluate_hifun(graph: Graph, query, items: Optional[Iterable[Term]] = None,
+def evaluate_hifun(graph: Graph, query: HifunQuery, items: Optional[Iterable[Term]] = None,
                    root_class: Optional[IRI] = None) -> AnswerFunction:
     """Evaluate a HIFUN query natively over ``graph``.
 

@@ -258,7 +258,9 @@ def translate(
     # 5. Assemble the query text.
     lines: List[str] = []
     if prefixes:
-        for name, base in prefixes.items():
+        # Sorted so the emitted text is identical across runs regardless
+        # of how the caller built the mapping.
+        for name, base in sorted(prefixes.items()):
             lines.append(f"PREFIX {name}: <{base}>")
     lines.append("SELECT " + " ".join(select_parts))
     lines.append("WHERE {")

@@ -70,7 +70,7 @@ class Graph:
         """The term dictionary (read-only use; append-only structure)."""
         return self._dict
 
-    def encode_term(self, term: Term):
+    def encode_term(self, term: Term) -> Optional[int]:
         """The id of ``term``, or ``None`` if it never entered the graph."""
         return self._dict.lookup(term)
 

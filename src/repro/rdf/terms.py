@@ -37,6 +37,10 @@ _NUMERIC_DATATYPES = frozenset(
 )
 _TEMPORAL_DATATYPES = frozenset({XSD_DATE, XSD_DATETIME, XSD_GYEAR})
 
+#: Public aliases used by the static analyzers (repro.analysis).
+NUMERIC_DATATYPES = _NUMERIC_DATATYPES
+TEMPORAL_DATATYPES = _TEMPORAL_DATATYPES
+
 
 class Term:
     """Base class for all RDF terms.  Only its subclasses are instantiated."""

@@ -156,7 +156,7 @@ class TurtleParser:
                 f"expected {char!r}, got {token.text!r}", token.line, token.column
             )
 
-    def _error(self, message: str, token: _Token):
+    def _error(self, message: str, token: _Token) -> None:
         raise TurtleError(message, token.line, token.column)
 
     # -- parsing --------------------------------------------------------

@@ -5,8 +5,13 @@ class SparqlError(Exception):
     """Base class for all SPARQL engine errors."""
 
 
-class SparqlParseError(SparqlError):
-    """Raised when query text cannot be parsed; carries the position."""
+class PositionedSparqlError(SparqlError):
+    """A SPARQL error carrying an optional 1-based source position.
+
+    ``line == 0`` means "no position available"; when a position is known
+    it is appended to the message and exposed as ``.line`` / ``.column``
+    so callers (CLI, analyzers) can point at the offending clause.
+    """
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         position = f" (line {line}, column {column})" if line else ""
@@ -15,13 +20,19 @@ class SparqlParseError(SparqlError):
         self.column = column
 
 
-class SparqlEvalError(SparqlError):
+class SparqlParseError(PositionedSparqlError):
+    """Raised when query text cannot be parsed; carries the position."""
+
+
+class SparqlEvalError(PositionedSparqlError):
     """Raised on evaluation errors that must abort the query.
 
     Expression errors *inside* ``FILTER`` do not raise — per the SPARQL
     semantics they make the filter condition effectively false; this
     exception is for structural problems (unknown aggregate, unbound
-    projection of a required expression, etc.).
+    projection of a required expression, etc.).  When the query came in
+    as text, :func:`repro.sparql.evaluator.query` back-fills the position
+    of the variable the message refers to.
     """
 
 

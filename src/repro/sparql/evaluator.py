@@ -802,6 +802,30 @@ def evaluate(parsed, graph: Graph):
     raise SparqlEvalError(f"cannot evaluate {type(parsed).__name__}")
 
 
+def _position_eval_error(exc: SparqlEvalError, text: str) -> SparqlEvalError:
+    """Back-fill the source position of an evaluation error raised over
+    *text*: when the message names a variable (``?x``), attach the
+    line/column of its first occurrence."""
+    if exc.line:
+        return exc
+    import re
+
+    match = re.search(r"\?(\w+)", str(exc))
+    if match is None:
+        return exc
+    from repro.sparql.errors import SparqlParseError
+    from repro.sparql.lexer import tokenize
+
+    try:
+        tokens = tokenize(text)
+    except SparqlParseError:  # pragma: no cover - text already parsed
+        return exc
+    for token in tokens:
+        if token.kind == "VAR" and token.text[1:] == match.group(1):
+            return SparqlEvalError(str(exc), token.line, token.column)
+    return exc
+
+
 def query(graph: Graph, text: str, use_cache: bool = True):
     """Parse and evaluate SPARQL ``text`` over ``graph``.
 
@@ -819,7 +843,10 @@ def query(graph: Graph, text: str, use_cache: bool = True):
     """
     cache = getattr(graph, "sparql_cache", None) if use_cache else None
     if cache is None:
-        return evaluate(parse_query(text), graph)
+        try:
+            return evaluate(parse_query(text), graph)
+        except SparqlEvalError as exc:
+            raise _position_eval_error(exc, text) from None
     generation = graph.generation
     cached = cache.get(text, generation, default=None)
     if cached is not None:
@@ -827,7 +854,10 @@ def query(graph: Graph, text: str, use_cache: bool = True):
         if kind == "select":
             return SelectResult(payload.variables, list(payload.rows))
         return payload  # ASK boolean
-    result = evaluate(parse_query(text), graph)
+    try:
+        result = evaluate(parse_query(text), graph)
+    except SparqlEvalError as exc:
+        raise _position_eval_error(exc, text) from None
     if isinstance(result, SelectResult):
         # Snapshot the row list: the caller owns `result` and may
         # mutate its list in place, which must not reach the cache.

@@ -82,9 +82,17 @@ class _Parser:
     def _next(self) -> Token:
         token = self._peek()
         if token is None:
-            raise SparqlParseError("unexpected end of query")
+            line, column = self._end_position()
+            raise SparqlParseError("unexpected end of query", line, column)
         self._pos += 1
         return token
+
+    def _end_position(self) -> "Tuple[int, int]":
+        """The position just past the last token (for end-of-input errors)."""
+        if not self._tokens:
+            return (1, 1)
+        last = self._tokens[-1]
+        return (last.line, last.column + len(last.text))
 
     def _at_punct(self, char: str) -> bool:
         token = self._peek()
@@ -118,7 +126,10 @@ class _Parser:
     def _error(self, message: str) -> SparqlParseError:
         token = self._peek()
         if token is None:
-            return SparqlParseError(message)
+            line, column = self._end_position()
+            return SparqlParseError(
+                f"{message}, got end of query", line, column
+            )
         return SparqlParseError(
             f"{message}, got {token.text!r}", token.line, token.column
         )

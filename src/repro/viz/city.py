@@ -11,10 +11,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.rdf.terms import Literal, Term
-from repro.viz.table import term_label
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,228 @@
+"""HIFUN static checker: one positive suite plus a negative test per
+``H0xx`` code (the defect taxonomy of repro.analysis.hifun_checker)."""
+
+import pytest
+
+from repro.analysis import analyze_hifun, check_hifun, infer_schema
+from repro.datasets import products_graph
+from repro.hifun import Attribute, HifunQuery, Restriction, compose, pair
+from repro.hifun.attributes import Derived
+from repro.rdf.namespace import EX
+from repro.rdf.terms import IRI, Literal
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return products_graph()
+
+
+@pytest.fixture(scope="module")
+def schema(graph):
+    return infer_schema(graph)
+
+
+manufacturer = Attribute(EX.manufacturer)
+origin = Attribute(EX.origin)
+price = Attribute(EX.price)
+release = Attribute(EX.releaseDate)
+
+
+# -- positives ----------------------------------------------------------
+def test_clean_query_has_no_diagnostics(graph):
+    query = HifunQuery(
+        compose(origin, manufacturer), price, ("AVG", "MIN"),
+        measuring_restrictions=(Restriction(price, ">=", Literal.of(100)),),
+    )
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert report.clean, report.render()
+
+
+def test_count_over_resource_measure_is_fine(graph):
+    report = analyze_hifun(
+        graph, HifunQuery(manufacturer, manufacturer, "COUNT"),
+        root_class=EX.Laptop,
+    )
+    assert report.ok, report.render()
+
+
+# -- H001: broken composition ------------------------------------------
+def test_h001_literal_mid_path(graph):
+    query = HifunQuery(compose(origin, price), price, "COUNT")
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H001" in report.codes(), report.render()
+
+
+# -- H002: unknown property --------------------------------------------
+def test_h002_unknown_property(graph):
+    ghost = Attribute(IRI(str(EX) + "noSuchProperty"))
+    report = analyze_hifun(graph, HifunQuery(ghost, price, "COUNT"))
+    assert "H002" in report.codes(), report.render()
+    assert not report.ok
+
+
+# -- H003: aggregate/measure mismatch ----------------------------------
+def test_h003_avg_over_resources(graph):
+    query = HifunQuery(manufacturer, manufacturer, "AVG")
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H003" in report.codes(), report.render()
+
+
+def test_h003_sum_over_dates(graph):
+    query = HifunQuery(manufacturer, release, "SUM")
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H003" in report.codes(), report.render()
+
+
+# -- H004: restriction value mismatch ----------------------------------
+def test_h004_literal_attribute_vs_iri_value(graph):
+    query = HifunQuery(
+        manufacturer, price, "AVG",
+        grouping_restrictions=(Restriction(price, "=", EX.US),),
+    )
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H004" in report.codes(), report.render()
+
+
+def test_h004_resource_attribute_vs_literal_value(graph):
+    query = HifunQuery(
+        manufacturer, price, "AVG",
+        grouping_restrictions=(
+            Restriction(manufacturer, "=", Literal.of("Apple")),
+        ),
+    )
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H004" in report.codes(), report.render()
+
+
+def test_h004_uri_value_absent_from_graph(graph):
+    query = HifunQuery(
+        manufacturer, price, "AVG",
+        grouping_restrictions=(
+            Restriction(manufacturer, "=", IRI(str(EX) + "NoSuchCompany")),
+        ),
+    )
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H004" in report.codes(), report.render()
+
+
+def test_h004_uri_value_of_wrong_class(graph):
+    # EX.US is a Country; manufacturer ranges over companies.
+    query = HifunQuery(
+        manufacturer, price, "AVG",
+        grouping_restrictions=(Restriction(manufacturer, "=", EX.US),),
+    )
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H004" in report.codes(), report.render()
+
+
+def test_h004_datatype_category_mismatch(graph):
+    query = HifunQuery(
+        manufacturer, price, "AVG",
+        measuring_restrictions=(
+            Restriction(price, ">=", Literal.of("cheap")),
+        ),
+    )
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H004" in report.codes(), report.render()
+
+
+# -- H005: non-functional path (warning) --------------------------------
+def test_h005_multivalued_grouping_warns():
+    graph = products_graph()
+    # Give one laptop a second manufacturer → no longer functional.
+    laptop = next(iter(graph.subjects(EX.manufacturer, None)))
+    graph.add(laptop, EX.manufacturer, EX.Lenovo)
+    report = analyze_hifun(
+        graph, HifunQuery(manufacturer, price, "AVG"), root_class=EX.Laptop
+    )
+    assert "H005" in report.codes(), report.render()
+    assert report.ok, "H005 is a warning, not an error"
+
+
+# -- H006: derived function input mismatch -----------------------------
+def test_h006_month_of_numeric(graph):
+    query = HifunQuery(Derived("MONTH", price), price, "COUNT")
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H006" in report.codes(), report.render()
+
+
+def test_h006_round_of_date(graph):
+    query = HifunQuery(Derived("ROUND", release), price, "COUNT")
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H006" in report.codes(), report.render()
+
+
+def test_h006_month_of_date_is_clean(graph):
+    query = HifunQuery(Derived("MONTH", release), price, "AVG")
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert report.clean, report.render()
+
+
+# -- H007: shadowed / effect-less attribute (warning) -------------------
+def test_h007_duplicate_pairing_component(graph):
+    query = HifunQuery(pair(manufacturer, manufacturer), price, "AVG")
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H007" in report.codes(), report.render()
+    assert report.ok
+
+
+def test_h007_derived_measure_under_count(graph):
+    query = HifunQuery(manufacturer, Derived("YEAR", release), "COUNT")
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H007" in report.codes(), report.render()
+    assert report.ok
+
+
+# -- H008: contradictory restrictions ----------------------------------
+def test_h008_two_equalities(graph):
+    query = HifunQuery(
+        manufacturer, price, "AVG",
+        grouping_restrictions=(
+            Restriction(manufacturer, "=", EX.DELL),
+            Restriction(manufacturer, "=", EX.Lenovo),
+        ),
+    )
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H008" in report.codes(), report.render()
+
+
+def test_h008_empty_interval(graph):
+    query = HifunQuery(
+        manufacturer, price, "AVG",
+        measuring_restrictions=(
+            Restriction(price, ">", Literal.of(1000)),
+            Restriction(price, "<", Literal.of(500)),
+        ),
+    )
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H008" in report.codes(), report.render()
+
+
+def test_h008_satisfiable_interval_is_clean(graph):
+    query = HifunQuery(
+        manufacturer, price, "AVG",
+        measuring_restrictions=(
+            Restriction(price, ">", Literal.of(500)),
+            Restriction(price, "<", Literal.of(1000)),
+        ),
+    )
+    report = analyze_hifun(graph, query, root_class=EX.Laptop)
+    assert "H008" not in report.codes(), report.render()
+
+
+# -- H009: attribute not applicable to the root class ------------------
+def test_h009_wrong_root_class(graph):
+    report = analyze_hifun(
+        graph, HifunQuery(price, price, "AVG"), root_class=EX.Company
+    )
+    assert "H009" in report.codes(), report.render()
+
+
+def test_unanchored_root_reports_nothing(graph, schema):
+    # A root class the schema never saw (e.g. the analytics temp class)
+    # must not anchor H009 — provable-only.
+    temp = IRI("http://www.ics.forth.gr/rdf-analytics#temp")
+    report = check_hifun(
+        HifunQuery(price, price, "AVG"), schema, root_class=temp
+    )
+    assert report.clean, report.render()

@@ -1,0 +1,110 @@
+"""Strict-mode wiring: sessions, the CLI ``analyze`` command, ``--analyze``."""
+
+import pytest
+
+from repro.analysis import StaticAnalysisError
+from repro.app.cli import build_shell
+from repro.datasets import products_graph
+from repro.facets import FacetedAnalyticsSession
+from repro.rdf.namespace import EX
+
+
+def _good_session(analyze):
+    s = FacetedAnalyticsSession(products_graph(), analyze=analyze)
+    s.select_class(EX.Laptop)
+    s.group_by((EX.manufacturer,))
+    s.measure((EX.price,), "AVG")
+    return s
+
+
+def _bad_session(analyze):
+    # AVG over the resource-valued manufacturer → H003.
+    s = FacetedAnalyticsSession(products_graph(), analyze=analyze)
+    s.select_class(EX.Laptop)
+    s.group_by((EX.USBPorts,))
+    s.measure((EX.manufacturer,), "AVG")
+    return s
+
+
+def test_strict_mode_passes_good_query():
+    frame = _good_session(analyze=True).run()
+    assert frame is not None
+
+
+def test_strict_mode_raises_on_bad_query():
+    s = _bad_session(analyze=True)
+    with pytest.raises(StaticAnalysisError) as excinfo:
+        s.run()
+    assert "H003" in str(excinfo.value)
+    assert excinfo.value.report.errors
+
+
+def test_strict_mode_raises_before_store_access():
+    s = _bad_session(analyze=True)
+    generation = s.graph.generation
+    with pytest.raises(StaticAnalysisError):
+        s.run()
+    assert s.graph.generation == generation, (
+        "strict mode must reject the query before any triple-store "
+        "mutation (temp-property materialization)"
+    )
+
+
+def test_default_mode_still_executes_bad_query():
+    # Backwards compatibility: analyze=False (the default) keeps the
+    # permissive behaviour — the query runs and yields empty aggregates.
+    frame = _bad_session(analyze=False).run()
+    assert frame is not None
+
+
+def test_analyze_query_reports_without_raising():
+    report = _bad_session(analyze=False).analyze_query()
+    assert "H003" in report.codes()
+
+
+# -- CLI ----------------------------------------------------------------
+def _drive(shell, *commands):
+    for command in commands:
+        out = shell.execute(command)
+        assert "unknown command" not in out, out
+    return out
+
+
+def test_cli_analyze_command_clean_state():
+    shell = build_shell(["--analyze"])
+    out = _drive(shell, "select Laptop", "group manufacturer",
+                 "measure price AVG", "analyze")
+    assert "[clean]" in out, out
+
+
+def test_cli_analyze_command_reports_errors():
+    shell = build_shell(["--analyze"])
+    out = _drive(shell, "select Laptop", "measure manufacturer AVG",
+                 "analyze")
+    assert "H003" in out, out
+    assert "error" in out
+
+
+def test_cli_strict_run_refuses_bad_query():
+    shell = build_shell(["--analyze"])
+    out = _drive(shell, "select Laptop", "measure manufacturer AVG", "run")
+    assert "static analysis failed" in out, out
+
+
+def test_cli_strict_run_executes_good_query():
+    shell = build_shell(["--analyze"])
+    out = _drive(shell, "select Laptop", "group manufacturer",
+                 "measure price AVG", "run")
+    assert "avg_price" in out, out
+
+
+def test_cli_default_shell_has_no_strict_mode():
+    shell = build_shell([])
+    out = _drive(shell, "select Laptop", "measure manufacturer AVG", "run")
+    assert "static analysis failed" not in out, out
+
+
+def test_cli_analyze_flag_with_resilient_session():
+    shell = build_shell(["--analyze", "--retries", "2"])
+    out = _drive(shell, "select Laptop", "measure manufacturer AVG", "run")
+    assert "static analysis failed" in out, out

@@ -1,0 +1,88 @@
+"""Schema inference (repro.analysis.schema) over the products KG."""
+
+import datetime
+
+from repro.analysis import SchemaInfo, infer_schema
+from repro.datasets import products_graph
+from repro.rdf.namespace import EX, XSD
+from repro.rdf.terms import IRI, Literal
+
+
+def test_infer_schema_basic_shape():
+    schema = infer_schema(products_graph())
+    assert isinstance(schema, SchemaInfo)
+    assert EX.Laptop in schema.classes
+    assert EX.Company in schema.classes
+    assert schema.signature(EX.manufacturer) is not None
+    assert schema.signature(IRI(str(EX) + "noSuchProperty")) is None
+
+
+def test_manufacturer_signature():
+    schema = infer_schema(products_graph())
+    sig = schema.signature(EX.manufacturer)
+    assert sig.functional, "each laptop has exactly one manufacturer"
+    assert sig.is_object_property
+    assert not sig.is_datatype_property
+    assert EX.Company in sig.ranges
+    assert EX.Laptop in sig.domains
+
+
+def test_price_signature_is_numeric():
+    schema = infer_schema(products_graph())
+    sig = schema.signature(EX.price)
+    assert sig.is_datatype_property
+    assert sig.numeric
+    assert str(XSD.integer) in sig.datatypes
+
+
+def test_release_date_signature_is_temporal():
+    schema = infer_schema(products_graph())
+    sig = schema.signature(EX.releaseDate)
+    assert sig.temporal
+    assert str(XSD.date) in sig.datatypes
+
+
+def test_superclass_closure_is_reflexive_transitive():
+    schema = infer_schema(products_graph())
+    up = schema.up({EX.SSD})
+    assert EX.SSD in up          # reflexive
+    assert EX.HDType in up       # direct
+    assert EX.Product in up      # transitive
+
+
+def test_compatible_respects_subclassing():
+    schema = infer_schema(products_graph())
+    # Laptop ⊑ Product: sharing an ancestor makes them compatible.
+    assert schema.compatible(frozenset({EX.Laptop}), frozenset({EX.Product}))
+    # Disjoint hierarchies are incompatible.
+    assert not schema.compatible(
+        frozenset({EX.Company}), frozenset({EX.Laptop})
+    )
+
+
+def test_compatible_is_permissive_on_unknown():
+    schema = infer_schema(products_graph())
+    # The provable-only principle: no information, no veto.
+    assert schema.compatible(frozenset(), frozenset({EX.Laptop}))
+    assert schema.compatible(frozenset({EX.Laptop}), frozenset())
+
+
+def test_schema_cache_tracks_generation():
+    graph = products_graph()
+    first = infer_schema(graph)
+    assert infer_schema(graph) is first, "same generation → cached object"
+    graph.add(
+        EX.newLaptop, EX.releaseDate, Literal.of(datetime.date(2024, 1, 1))
+    )
+    second = infer_schema(graph)
+    assert second is not first, "mutation must invalidate the cache"
+    assert second.generation == graph.generation
+
+
+def test_declared_but_unused_property_has_empty_signature():
+    # ``producer`` is declared in the schema (superproperty of
+    # manufacturer) but never asserted in the data.
+    schema = infer_schema(products_graph())
+    sig = schema.signature(EX.producer)
+    assert sig is not None
+    assert sig.triples == 0

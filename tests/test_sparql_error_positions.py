@@ -1,0 +1,67 @@
+"""SPARQL errors carry source positions (satellite of the analyzer PR)."""
+
+import pytest
+
+from repro.datasets import products_graph
+from repro.sparql import query
+from repro.sparql.errors import (
+    PositionedSparqlError,
+    SparqlEvalError,
+    SparqlParseError,
+)
+from repro.sparql.parser import parse_query
+
+
+def test_parse_error_mid_query_has_position():
+    with pytest.raises(SparqlParseError) as excinfo:
+        parse_query("SELECT ?x WHERE { ?x ??? ?y }")
+    assert excinfo.value.line >= 1
+    assert excinfo.value.column >= 1
+    assert "line" in str(excinfo.value)
+
+
+def test_parse_error_at_end_of_input_has_position():
+    text = "SELECT ?x WHERE { ?x <urn:p> "
+    with pytest.raises(SparqlParseError) as excinfo:
+        parse_query(text)
+    # The reported position is just past the last token, on line 1.
+    assert excinfo.value.line == 1
+    assert excinfo.value.column > text.rindex("<urn:p>")
+
+
+def test_parse_error_position_tracks_lines():
+    with pytest.raises(SparqlParseError) as excinfo:
+        parse_query("SELECT ?x\nWHERE {\n  ?x ??? ?y\n}")
+    assert excinfo.value.line == 3
+
+
+def test_empty_query_reports_line_one():
+    with pytest.raises(SparqlParseError) as excinfo:
+        parse_query("")
+    assert excinfo.value.line == 1
+    assert excinfo.value.column == 1
+
+
+def test_eval_error_backfills_variable_position():
+    text = (
+        "SELECT ?s WHERE "
+        "{ ?s <http://www.ics.forth.gr/example#price> ?o .\n"
+        "  BIND(1 AS ?o) }"
+    )
+    graph = products_graph()
+    with pytest.raises(SparqlEvalError) as excinfo:
+        query(graph, text)
+    # The rebind error points at ?o's first occurrence (line 1).
+    assert excinfo.value.line == 1
+    assert "?o" in str(excinfo.value)
+
+
+def test_positions_are_optional():
+    err = SparqlEvalError("no position")
+    assert err.line == 0 and err.column == 0
+    assert "line" not in str(err)
+
+
+def test_error_hierarchy():
+    assert issubclass(SparqlParseError, PositionedSparqlError)
+    assert issubclass(SparqlEvalError, PositionedSparqlError)

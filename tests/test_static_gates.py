@@ -1,0 +1,78 @@
+"""The repo-wide static gates (`make lint` / `make typecheck`) ride tier-1:
+the fallback checker must pass over the shipped sources and must still
+catch the defect classes it claims to."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+CHECKER = REPO / "tools" / "static_check.py"
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def test_lint_gate_passes_on_shipped_sources():
+    result = _run("--lint", "src/repro", "tools", "benchmarks")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_typecheck_gate_passes_on_target_packages():
+    result = _run(
+        "--typecheck",
+        "src/repro/rdf", "src/repro/hifun", "src/repro/analysis",
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_lint_detects_planted_defects(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import os\n"
+        "def f(x=[]):\n"
+        "    try:\n"
+        "        return x\n"
+        "    except:\n"
+        "        pass\n"
+    )
+    result = _run("--lint", str(bad))
+    assert result.returncode == 1
+    assert "L001" in result.stdout  # unused import os
+    assert "L002" in result.stdout  # bare except
+    assert "L003" in result.stdout  # mutable default
+
+
+def test_typecheck_detects_planted_defects(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def partial(a: int, b):\n"
+        "    return a\n"
+        "def no_return(a: int):\n"
+        "    return a\n"
+    )
+    result = _run("--typecheck", str(bad))
+    assert result.returncode == 1
+    assert "T002" in result.stdout
+    assert "T003" in result.stdout
+
+
+def test_typecheck_reports_syntax_errors(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    result = _run("--typecheck", str(bad))
+    assert result.returncode == 1
+    assert "T001" in result.stdout
+
+
+def test_future_annotations_import_is_exempt(tmp_path):
+    ok = tmp_path / "ok.py"
+    ok.write_text("from __future__ import annotations\nVALUE = 1\n")
+    result = _run("--lint", str(ok))
+    assert result.returncode == 0, result.stdout

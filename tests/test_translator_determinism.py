@@ -1,0 +1,88 @@
+"""translate() must be byte-identical across runs (satellite: no dict-order
+leaks into alias or variable numbering)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.hifun import (
+    Attribute,
+    HifunQuery,
+    Restriction,
+    compose,
+    pair,
+    translate,
+)
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Literal
+
+_QUERY_SRC = """
+from repro.hifun import (Attribute, HifunQuery, Restriction, compose,
+                         pair, translate)
+from repro.rdf.namespace import EX
+from repro.rdf.terms import Literal
+
+query = HifunQuery(
+    pair(compose(Attribute(EX.origin), Attribute(EX.manufacturer)),
+         Attribute(EX.USBPorts)),
+    Attribute(EX.price),
+    ("AVG", "SUM"),
+    measuring_restrictions=(Restriction(Attribute(EX.price), ">=",
+                                        Literal.of(100)),),
+    with_count=True,
+)
+t = translate(query, root_class=EX.Laptop,
+              prefixes={"zzz": "urn:z#", "aaa": "urn:a#", "mmm": "urn:m#"})
+print(t.text)
+print("|".join(t.answer_columns))
+"""
+
+
+def _run_in_subprocess(hashseed: str) -> str:
+    src_dir = Path(__file__).resolve().parents[1] / "src"
+    result = subprocess.run(
+        [sys.executable, "-c", _QUERY_SRC],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(src_dir), "PYTHONHASHSEED": hashseed},
+        check=True,
+    )
+    return result.stdout
+
+
+def test_translation_identical_across_hash_seeds():
+    outputs = {_run_in_subprocess(seed) for seed in ("0", "42", "12345")}
+    assert len(outputs) == 1, "translate() output depends on hash order"
+
+
+def test_prefixes_emitted_sorted_regardless_of_insertion_order():
+    query = HifunQuery(Attribute(EX.manufacturer), Attribute(EX.price), "AVG")
+    forward = translate(
+        query, prefixes={"b": "urn:b#", "a": "urn:a#", "c": "urn:c#"}
+    )
+    backward = translate(
+        query, prefixes={"c": "urn:c#", "a": "urn:a#", "b": "urn:b#"}
+    )
+    assert forward.text == backward.text
+    lines = forward.text.splitlines()[:3]
+    assert lines == [
+        "PREFIX a: <urn:a#>",
+        "PREFIX b: <urn:b#>",
+        "PREFIX c: <urn:c#>",
+    ]
+
+
+def test_repeated_translation_is_stable_in_process():
+    query = HifunQuery(
+        pair(Attribute(EX.manufacturer), Attribute(EX.USBPorts)),
+        Attribute(EX.price),
+        "AVG",
+        grouping_restrictions=(
+            Restriction(Attribute(EX.manufacturer), "=", EX.DELL),
+        ),
+    )
+    first = translate(query, root_class=EX.Laptop)
+    for _ in range(5):
+        again = translate(query, root_class=EX.Laptop)
+        assert again.text == first.text
+        assert again.answer_columns == first.answer_columns
