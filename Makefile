@@ -1,6 +1,6 @@
 # Convenience targets for the RDF-Analytics reproduction.
 
-.PHONY: install test lint typecheck check bench bench-smoke chaos examples all clean
+.PHONY: install test lint typecheck check bench bench-smoke bench-json chaos examples all clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -45,11 +45,23 @@ bench-smoke:
 		--benchmark-max-time=0.2 --benchmark-min-rounds=1 \
 		--benchmark-warmup=off
 
+# Machine-readable smoke run: the engine micro-benchmarks, the facet
+# sweep and the columnar ablation at the smallest size, leaving
+# benchmarks/out/*.json artifacts for tools/bench_compare.py.
+bench-json:
+	PYTHONPATH=src REPRO_BENCH_SIZES=100 pytest benchmarks/bench_engine_micro.py \
+		benchmarks/bench_scalability_facets.py \
+		benchmarks/bench_ablation_columnar.py \
+		-m smoke --benchmark-only -q \
+		--benchmark-max-time=0.2 --benchmark-min-rounds=1 \
+		--benchmark-warmup=off
+	@ls benchmarks/out/*.json
+
 chaos:
 	pytest tests/ -m chaos -q
 
 examples:
-	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo ok; done
+	@for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src python $$f > /dev/null && echo ok; done
 
 all: test bench
 

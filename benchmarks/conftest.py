@@ -4,13 +4,51 @@ Every benchmark regenerates one table or figure of the dissertation and
 writes the rendered artifact under ``benchmarks/out/`` (also echoed to
 stdout), so a plain ``pytest benchmarks/ --benchmark-only`` leaves the
 full set of reproduced tables/figures on disk.
+
+Every benchmark module additionally leaves a machine-readable
+``benchmarks/out/<name>.json`` twin: modules with structured results
+call :func:`_workload.write_bench_json` themselves; for the rest, the
+session-finish hook below converts their pytest-benchmark stats.  The
+JSON artifacts are what ``tools/bench_compare.py`` diffs to catch
+performance regressions between runs.
 """
 
 import os
 
 import pytest
 
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+OUT_DIR = os.environ.get(
+    "REPRO_BENCH_OUT", os.path.join(os.path.dirname(__file__), "out"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Auto-emit the JSON twin of every benchmark module that did not
+    write one explicitly (see ``_workload.write_bench_json``)."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    from _workload import _WRITTEN, write_bench_json
+
+    engine = os.environ.get("REPRO_ENGINE", "default")
+    by_module = {}
+    for meta in bench_session.benchmarks:
+        if meta.has_error or not meta.stats.data:
+            continue
+        module_part, _, test_part = meta.fullname.partition("::")
+        stem = os.path.basename(module_part)
+        if stem.endswith(".py"):
+            stem = stem[:-3]
+        if stem.startswith("bench_"):
+            stem = stem[len("bench_"):]
+        label = test_part or meta.name
+        if label.startswith("test_"):
+            label = label[len("test_"):]
+        by_module.setdefault(stem, {})[label] = meta.stats.median * 1000.0
+    for stem, ops in sorted(by_module.items()):
+        if stem in _WRITTEN or not ops:
+            continue
+        write_bench_json(stem, ops, params={"source": f"bench_{stem}.py"},
+                         engine=engine)
 
 
 @pytest.fixture(scope="session")

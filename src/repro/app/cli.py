@@ -20,7 +20,8 @@ matched against IRI local names case-insensitively):
 ``goto <resource>``    browse: follow an edge to a neighbour
 ``similar``            browse: the most similar resources
 ``analyze``            static-check the analytic query + its SPARQL
-``run``                execute the analytic query; prints the answer
+``run [engine]``       execute the analytic query; prints the answer
+                       (engine ∈ sparql,native,columnar,row,restrictions)
 ``explore``            load the last answer as a new dataset
 ``sparql``             show the SPARQL of the current analytic query
 ``intent``             show the current state's intention
@@ -214,7 +215,9 @@ class AnalyticsShell:
         return "\n".join(render(self.session.class_markers(expanded=expanded)))
 
     def _cmd_facets(self, args: List[str]) -> str:
-        listing = self.session.property_facets()
+        # The batch listing: one shared scan natively, the per-facet
+        # degradation-aware path on a resilient session.
+        listing = self.session.all_facets()
         lines = []
         for facet in listing:
             values = ", ".join(str(v) for v in facet.values[:8])
@@ -411,7 +414,13 @@ class AnalyticsShell:
         return f"{report.render()}\n[{summary}]"
 
     def _cmd_run(self, args: List[str]) -> str:
-        frame = self.session.run()
+        engines = ("sparql", "native", "columnar", "row", "restrictions")
+        engine = args[0] if args else "sparql"
+        if engine not in engines:
+            raise ShellError(
+                f"unknown engine {engine!r}; expected one of {', '.join(engines)}"
+            )
+        frame = self.session.run(engine)
         self.last_frame = frame
         self._frames.append(frame)
         return render_table(frame.columns, frame.rows)

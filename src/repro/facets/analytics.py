@@ -501,7 +501,11 @@ class FacetedAnalyticsSession(FacetedSession):
 
         * ``"sparql"`` — translate + evaluate with the extension under
           the ``temp`` class (Table 5.1; the default pipeline);
-        * ``"native"`` — the reference three-step HIFUN evaluator;
+        * ``"native"`` — the in-process HIFUN evaluator under the
+          session-default execution strategy (``REPRO_ENGINE``);
+        * ``"columnar"`` / ``"row"`` — the native evaluator with the
+          execution strategy forced (batch frontier joins vs. the
+          item-at-a-time ablation twin; identical answers);
         * ``"restrictions"`` — fold the intention into HIFUN
           restrictions (§5.5) and run the self-contained translation.
 
@@ -525,8 +529,10 @@ class FacetedAnalyticsSession(FacetedSession):
             return AnswerFrame(columns, rows, restricted, translation)
         query = self.hifun_query()
         self._static_check(query)
-        if engine == "native":
-            answer = evaluate_hifun(self.graph, query, items=self.extension)
+        if engine in ("native", "columnar", "row"):
+            hifun_engine = None if engine == "native" else engine
+            answer = evaluate_hifun(self.graph, query, items=self.extension,
+                                    engine=hifun_engine)
             columns = [g.label for g in self._groups]
             columns += [
                 f"{op.lower()}"

@@ -24,7 +24,7 @@ from repro.rdf.terms import IRI, Literal, Term
 from repro.facets.intentions import Intention
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PropertyRef:
     """A property usable in a transition, optionally inverted (``p⁻¹``)."""
 
@@ -162,7 +162,7 @@ def restrict_by_path(graph: Graph, extension: Iterable[Term], path: Path,
 # ---------------------------------------------------------------------------
 # Transition markers
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValueMarker:
     """One clickable value of a facet, with its count.
 
@@ -184,7 +184,7 @@ class ValueMarker:
         return f"{self.label} ({self.count})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClassMarker:
     """A class-based transition marker (Fig. 5.4 a/b), hierarchical.
 
@@ -213,7 +213,7 @@ class ClassMarker:
         return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PropertyFacet:
     """A property facet: ``by <property> (n)`` with its value markers.
 
@@ -246,7 +246,7 @@ class PropertyFacet:
         return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FacetListing:
     """A (possibly partial) left-frame facet listing.
 
@@ -275,7 +275,7 @@ class FacetListing:
         return self.facets[index]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FacetError:
     """One facet (or listing step) that failed: which, and why."""
 
@@ -289,7 +289,7 @@ class FacetError:
 # ---------------------------------------------------------------------------
 # States
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class State:
     """An interaction state: extension + intention (§5.2.1).
 

@@ -264,6 +264,17 @@ class ResilientFacetedSession(FacetedAnalyticsSession):
                 errors.append(FacetError(f"by {ref.name}", error))
         return FacetListing(tuple(facets), tuple(errors))
 
+    def all_facets(self, include_inverse: bool = False) -> FacetListing:
+        """The batch listing, endpoint-backed.
+
+        The native shared-scan fast path reads the local indexes, which
+        an endpoint-backed session must not do — counts here come from
+        the (fallible) endpoint one facet at a time so each facet keeps
+        its *individual* degradation story (stale serve or listing
+        error).  Semantics are therefore exactly
+        :meth:`property_facets`."""
+        return self.property_facets(include_inverse)
+
     def expand_path(self, path, next_prop) -> PropertyFacet:
         path = self._normalize_path(path)
         step = self._normalize_step(next_prop)

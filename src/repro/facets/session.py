@@ -89,30 +89,51 @@ class FacetedSession:
         self.analyze = analyze
         self.schema = SchemaView(graph, closed=closed)
         self.graph = self.schema.graph
+        # Generation-stamped cache for facet counts / class markers /
+        # applicable properties / the individuals pool: keyed on
+        # (operation, extension, ...), stamped with the graph generation,
+        # so any mutation — including temp-class materialization and
+        # AF-loads — invalidates, and *back* navigation re-serves earlier
+        # states for free.  Built before the initial state, which already
+        # wants the memoized individuals.
+        self._facet_cache = GenerationCache(maxsize=512, name="facet-counts")
+        # Generation-stamped memo for the individuals pool.  A private
+        # slot, not a _facet_cache entry: the facet cache's invariant is
+        # "only fresh *facet* values, nothing else" — tests assert it
+        # stays empty when every count degrades.
+        self._individuals_memo: Optional[Tuple[int, FrozenSet[Term]]] = None
         if results is not None:
             seeds = frozenset(results)
             intention = Intention(seeds=tuple(sorted(seeds, key=lambda t: t.sort_key())))
             initial = State(seeds, intention, "results")
         else:
-            individuals = frozenset(self._individuals())
-            initial = State(individuals, Intention(), "initial")
+            initial = State(self._individuals(), Intention(), "initial")
         self._history: List[State] = [initial]
-        # Generation-stamped cache for facet counts / class markers /
-        # applicable properties: keyed on (operation, extension, ...),
-        # stamped with the graph generation, so any mutation — including
-        # temp-class materialization and AF-loads — invalidates, and
-        # *back* navigation re-serves earlier states for free.
-        self._facet_cache = GenerationCache(maxsize=512, name="facet-counts")
 
-    def _individuals(self) -> Set[Term]:
-        """Every typed subject that is not a class or a property."""
-        out: Set[Term] = set()
-        for subject in self.graph.subjects(RDF.type, None):
-            types = set(self.graph.objects(subject, RDF.type))
-            if RDFS.Class in types or RDF.Property in types:
-                continue
-            out.add(subject)
-        return out
+    def _individuals(self) -> FrozenSet[Term]:
+        """Every typed subject that is not a class or a property.
+
+        Computed at the id level — the subject sets of the ``rdf:type``
+        POS row, minus the subjects typed as classes or properties — and
+        memoized per graph generation (restart-from-scratch transitions
+        and AF reloads re-ask for this constantly)."""
+        graph = self.graph
+        generation = graph.generation
+        memo = self._individuals_memo
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        subject_ids: Set[int] = set()
+        type_id = graph.encode_term(RDF.type)
+        if type_id is not None:
+            for ids in graph.pos_ids(type_id).values():
+                subject_ids |= ids
+            for special in (RDFS.Class, RDF.Property):
+                special_id = graph.encode_term(special)
+                if special_id is not None:
+                    subject_ids -= graph.subjects_ids(type_id, special_id)
+        individuals = frozenset(graph.decode_ids(subject_ids))
+        self._individuals_memo = (generation, individuals)
+        return individuals
 
     # ------------------------------------------------------------------
     # State access
@@ -254,11 +275,99 @@ class FacetedSession:
         return refs
 
     def property_facets(self, include_inverse: bool = False) -> List[PropertyFacet]:
-        """One facet per applicable property, with value markers+counts."""
-        return [
-            self.facet((ref,))
-            for ref in self.applicable_properties(include_inverse)
-        ]
+        """One facet per applicable property, with value markers+counts.
+
+        Delegates to :meth:`all_facets` — the shared-scan batch path —
+        so the left frame costs one pass over the extension's index rows
+        instead of one pass per property."""
+        return self.all_facets(include_inverse)
+
+    def all_facets(self, include_inverse: bool = False) -> List[PropertyFacet]:
+        """Every applicable property's facet from ONE shared scan.
+
+        Computing the left frame facet-by-facet walks the extension once
+        per property (N scans); this pivots property-major over the POS
+        index instead: for each predicate, every value row is one set
+        intersection ``extension ∩ subjects`` — the count of that value
+        marker — executed at C speed, with the union of the intersections
+        giving the having-the-property count.  The per-property results
+        are identical to :meth:`facet` (the equivalence tests assert it)
+        and are seeded into the generation-stamped cache under the same
+        keys, so subsequent single-facet and listing requests are O(1)."""
+        key = ("all-facets", self.extension, include_inverse)
+        generation = self.graph.generation
+        cached = self._facet_cache.get(key, generation, default=None)
+        if cached is not None:
+            return list(cached)
+        graph = self.graph
+        decode = graph.decode_id
+        schema_ids = {
+            pid
+            for pid in (graph.encode_term(p) for p in self._SCHEMA_PROPS)
+            if pid is not None
+        }
+        # Literal members contribute to no facet (they have no forward
+        # edges, and _compute_facet skips them for inverse ones too).
+        ext_set = {
+            eid
+            for eid in graph.encode_terms(self.extension)
+            if not isinstance(decode(eid), Literal)
+        }
+        # (prop_id, inverse) → value_id → count, plus the per-property
+        # count of extension members having the property at all.
+        counters: Dict[Tuple[int, bool], Dict[int, int]] = {}
+        having: Dict[Tuple[int, bool], int] = {}
+        for pid in graph.all_predicate_ids():
+            if pid in schema_ids:
+                continue
+            rows = graph.pos_ids(pid)
+            counter: Dict[int, int] = {}
+            havers: Set[int] = set()
+            for value_id, subjects in rows.items():
+                members = ext_set & subjects
+                if members:
+                    counter[value_id] = len(members)
+                    havers |= members
+            if counter:
+                counters[(pid, False)] = counter
+                having[(pid, False)] = len(havers)
+            if include_inverse:
+                counter = {}
+                with_property = 0
+                for value_id, subjects in rows.items():
+                    if value_id in ext_set:
+                        with_property += 1
+                        for sid in subjects:
+                            counter[sid] = counter.get(sid, 0) + 1
+                if counter:
+                    counters[(pid, True)] = counter
+                    having[(pid, True)] = with_property
+        # Decode each property once, drop non-IRI predicates, order like
+        # applicable_properties, and materialize the facets.
+        refs: List[Tuple[PropertyRef, Tuple[int, bool]]] = []
+        for slot in counters:
+            prop = decode(slot[0])
+            if isinstance(prop, IRI):
+                refs.append((PropertyRef(prop, inverse=slot[1]), slot))
+        refs.sort(key=lambda pair: (pair[0].prop.sort_key(), pair[0].inverse))
+        facets: List[PropertyFacet] = []
+        for ref, slot in refs:
+            markers = [
+                ValueMarker(decode(vid), count)
+                for vid, count in counters[slot].items()
+            ]
+            markers.sort(key=lambda marker: marker.value.sort_key())
+            facet = PropertyFacet(
+                path=(ref,), count=having[slot], values=tuple(markers))
+            facets.append(facet)
+            self._facet_cache.put(("facet", self.extension, (ref,)),
+                                  generation, facet)
+        self._facet_cache.put(
+            ("props", self.extension, include_inverse),
+            generation, tuple(ref for ref, _ in refs),
+        )
+        self._facet_cache.put(key, generation, tuple(facets))
+        return facets
 
     def facet(self, path) -> PropertyFacet:
         """The facet at ``path`` (a PropertyRef, IRI, or tuple thereof).

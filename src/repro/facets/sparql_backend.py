@@ -240,32 +240,56 @@ class SparqlFacetEngine:
         for single-step facets (the common case in the UI's left frame).
         """
         with self.temp(extension):
-            result = self.endpoint.query(self.q_value_counts(path))
-            values = []
-            total_query = (
-                f"SELECT (COUNT(DISTINCT ?x) AS ?n) WHERE "
-                f"{{ ?x {RDF.type.n3()} {TEMP.n3()} . "
-                f"{self._chain(path)[0]} }}"
-            )
-            for row in result.sorted_rows():
-                value = row.get("v" + str(len(path)))
-                values.append(ValueMarker(value, int(row.value("count"))))
-            total = self.endpoint.query(total_query)
-            count = int(total[0].value("n")) if len(total) else 0
-            return PropertyFacet(path=tuple(path), count=count, values=tuple(values))
+            return self._facet_in_temp(path)
 
-    def applicable_properties(self, extension: Iterable[Term]) -> List[PropertyRef]:
+    def _facet_in_temp(self, path: Path) -> PropertyFacet:
+        """The two facet queries; assumes ``temp`` is already materialized."""
+        result = self.endpoint.query(self.q_value_counts(path))
+        values = []
+        total_query = (
+            f"SELECT (COUNT(DISTINCT ?x) AS ?n) WHERE "
+            f"{{ ?x {RDF.type.n3()} {TEMP.n3()} . "
+            f"{self._chain(path)[0]} }}"
+        )
+        for row in result.sorted_rows():
+            value = row.get("v" + str(len(path)))
+            values.append(ValueMarker(value, int(row.value("count"))))
+        total = self.endpoint.query(total_query)
+        count = int(total[0].value("n")) if len(total) else 0
+        return PropertyFacet(path=tuple(path), count=count, values=tuple(values))
+
+    def _properties_in_temp(self) -> List[PropertyRef]:
+        """Applicable properties; assumes ``temp`` is already materialized."""
         from repro.rdf.namespace import RDFS
 
         schema = {RDF.type, RDFS.subClassOf, RDFS.subPropertyOf, RDFS.domain,
                   RDFS.range}
+        result = self.endpoint.query(self.q_properties())
+        return sorted(
+            (
+                PropertyRef(row["p"])
+                for row in result
+                if isinstance(row["p"], IRI) and row["p"] not in schema
+            ),
+            key=lambda r: r.prop.sort_key(),
+        )
+
+    def applicable_properties(self, extension: Iterable[Term]) -> List[PropertyRef]:
         with self.temp(extension):
-            result = self.endpoint.query(self.q_properties())
-            return sorted(
-                (
-                    PropertyRef(row["p"])
-                    for row in result
-                    if isinstance(row["p"], IRI) and row["p"] not in schema
-                ),
-                key=lambda r: r.prop.sort_key(),
-            )
+            return self._properties_in_temp()
+
+    def all_facets(self, extension: Iterable[Term]) -> List[PropertyFacet]:
+        """Every applicable property's facet under ONE temp-class
+        materialization.
+
+        The per-facet API re-materializes the extension for every facet
+        (2 mutation rounds per property); batching the whole left-frame
+        listing into a single ``temp`` block costs exactly one round no
+        matter how many properties there are — the SPARQL-side analogue
+        of the native session's shared-scan ``all_facets``."""
+        extension = list(extension)
+        with self.temp(extension):
+            return [
+                self._facet_in_temp((ref,))
+                for ref in self._properties_in_temp()
+            ]

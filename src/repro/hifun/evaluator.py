@@ -21,6 +21,7 @@ value assignment (the translation produces exactly those rows).
 from __future__ import annotations
 
 import datetime as _dt
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.rdf.graph import Graph
@@ -110,6 +111,8 @@ class AnswerFunction:
     Iteration order is deterministic (sorted by key).
     """
 
+    __slots__ = ("grouping_arity", "operations", "_data")
+
     def __init__(self, grouping_arity: int, operations: Tuple[str, ...]):
         self.grouping_arity = grouping_arity
         self.operations = operations
@@ -154,15 +157,48 @@ class AnswerFunction:
         return f"<AnswerFunction groups={len(self._data)} ops={self.operations}>"
 
 
+#: Environment override for the default evaluation engine.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: The engine used when neither the call nor the environment picks one.
+DEFAULT_ENGINE = "columnar"
+
+
 def evaluate_hifun(graph: Graph, query: HifunQuery, items: Optional[Iterable[Term]] = None,
-                   root_class: Optional[IRI] = None) -> AnswerFunction:
+                   root_class: Optional[IRI] = None,
+                   engine: Optional[str] = None) -> AnswerFunction:
     """Evaluate a HIFUN query natively over ``graph``.
 
     ``items`` fixes the analysis root ``D`` explicitly; otherwise, if
     ``root_class`` is given its instances are used; otherwise all
     subjects having every involved attribute participate (mirroring the
     translation, where unmatched items simply produce no rows).
+
+    ``engine`` selects the execution strategy: ``"columnar"`` (the
+    batch frontier-join engine, the default) or ``"row"`` (the
+    item-at-a-time reference engine, kept as the ablation twin).  When
+    ``None``, the ``REPRO_ENGINE`` environment variable decides, falling
+    back to :data:`DEFAULT_ENGINE`.  Both engines produce byte-identical
+    answers — the equivalence suite asserts it.
     """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, DEFAULT_ENGINE)
+    if engine == "row":
+        return evaluate_hifun_row(graph, query, items, root_class)
+    if engine == "columnar":
+        from repro.hifun.columnar import evaluate_hifun_columnar
+
+        return evaluate_hifun_columnar(graph, query, items, root_class)
+    raise ValueError(
+        f"unknown HIFUN engine {engine!r}; expected 'row' or 'columnar'"
+    )
+
+
+def evaluate_hifun_row(graph: Graph, query: HifunQuery,
+                       items: Optional[Iterable[Term]] = None,
+                       root_class: Optional[IRI] = None) -> AnswerFunction:
+    """The item-at-a-time reference evaluation (the ablation twin of
+    :func:`repro.hifun.columnar.evaluate_hifun_columnar`)."""
     from repro.rdf.namespace import RDF
 
     if items is not None:
@@ -215,6 +251,18 @@ def evaluate_hifun(graph: Graph, query: HifunQuery, items: Optional[Iterable[Ter
 
     # Step 3: reduction, then result restrictions (HAVING).
     answer = AnswerFunction(len(grouping_paths), operations)
+    return _reduce_groups(query, groups, counts, answer)
+
+
+def _reduce_groups(
+    query: HifunQuery,
+    groups: Dict[Tuple[Term, ...], List[Optional[Term]]],
+    counts: Dict[Tuple[Term, ...], int],
+    answer: AnswerFunction,
+) -> AnswerFunction:
+    """Reduction + HAVING, shared verbatim by the row and columnar
+    engines — whatever this code does, both engines do identically."""
+    operations = answer.operations
     for key, values in groups.items():
         aggregates: Dict[str, Optional[Term]] = {}
         for op in operations:

@@ -387,8 +387,19 @@ class Graph:
     def all_subjects(self) -> Set[Term]:
         return self._dict.decode_all(self._spo.keys())
 
+    def all_subject_ids(self):
+        """The encoded subject ids as a live view (treat as read-only) —
+        the id-level twin of :meth:`all_subjects` for the batch engine."""
+        return self._spo.keys()
+
     def all_predicates(self) -> Set[Term]:
         return self._dict.decode_all(self._pos.keys())
+
+    def all_predicate_ids(self):
+        """The encoded predicate ids as a live view (treat as read-only)
+        — lets the shared-scan facet counter pivot property-major over
+        the POS index instead of walking every subject's SPO row."""
+        return self._pos.keys()
 
     def all_objects(self) -> Set[Term]:
         return self._dict.decode_all(self._osp.keys())

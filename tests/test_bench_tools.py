@@ -1,0 +1,126 @@
+"""The bench-regression gate rides tier 1.
+
+Covers the machine-readable benchmark plumbing end to end: the JSON
+artifact helper (``benchmarks/_workload.write_bench_json``), an
+in-process smoke run of the columnar ablation (the importable
+``run_ablation``), and ``tools/bench_compare.py`` against planted
+fixtures — including a deliberate regression that must trip the gate.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for extra in ("benchmarks", "tools"):
+    path = os.path.join(REPO_ROOT, extra)
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import bench_compare  # noqa: E402  (tools/)
+from _workload import _WRITTEN, write_bench_json  # noqa: E402  (benchmarks/)
+
+
+# ----------------------------------------------------------------------
+# The artifact helper
+# ----------------------------------------------------------------------
+class TestWriteBenchJson:
+    def test_writes_schema_and_registers(self, tmp_path):
+        path = write_bench_json(
+            "demo_suite",
+            {"op_b": 2.5, "op_a": 1.23456},
+            params={"sizes": [100]},
+            engine="columnar",
+            out_dir=str(tmp_path),
+        )
+        assert os.path.basename(path) == "demo_suite.json"
+        data = json.loads(open(path, encoding="utf-8").read())
+        assert data["version"] == 1
+        assert data["name"] == "demo_suite"
+        assert data["engine"] == "columnar"
+        assert data["params"] == {"sizes": [100]}
+        assert data["ops"]["op_a"]["median_ms"] == 1.2346  # rounded
+        assert "demo_suite" in _WRITTEN  # the auto-emit hook will skip it
+
+    def test_artifact_is_loadable_by_comparator(self, tmp_path):
+        path = write_bench_json("demo_load", {"op": 1.0},
+                                out_dir=str(tmp_path))
+        loaded = bench_compare.load_artifact(path)
+        assert loaded["ops"]["op"]["median_ms"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# The smoke benches, in process
+# ----------------------------------------------------------------------
+def test_smoke_ablation_emits_comparable_json(tmp_path):
+    """A tiny ``run_ablation`` run produces an artifact the comparator
+    accepts as its own baseline (the self-diff has no regressions)."""
+    from bench_ablation_columnar import run_ablation
+
+    results = run_ablation([40])  # asserts row == columnar internally
+    assert set(results) == {40}
+    timing = results[40]
+    assert set(timing) == {"analytic_row", "analytic_columnar",
+                           "facets_per_facet", "facets_shared_scan"}
+    assert all(seconds > 0 for seconds in timing.values())
+
+    ops = {label: seconds * 1000.0 for label, seconds in timing.items()}
+    path = write_bench_json("smoke_ablation", ops, params={"sizes": [40]},
+                            engine="row|columnar", out_dir=str(tmp_path))
+    assert bench_compare.main([path, path]) == 0
+
+
+# ----------------------------------------------------------------------
+# The regression gate on planted fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def planted(tmp_path):
+    baseline = write_bench_json(
+        "planted", {"steady": 10.0, "regressed": 10.0, "tiny": 0.001},
+        out_dir=str(tmp_path / "base"))
+    candidate = write_bench_json(
+        "planted", {"steady": 10.5, "regressed": 31.0, "tiny": 0.04},
+        out_dir=str(tmp_path / "cand"))
+    return baseline, candidate
+
+
+class TestBenchCompareGate:
+    def test_regression_trips_the_gate(self, planted, capsys):
+        baseline, candidate = planted
+        assert bench_compare.main([baseline, candidate]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED regressed" in out
+        assert "ok       steady" in out
+
+    def test_sub_resolution_noise_never_regresses(self, planted, capsys):
+        baseline, candidate = planted
+        bench_compare.main([baseline, candidate])
+        assert "below timer resolution" in capsys.readouterr().out
+
+    def test_threshold_is_configurable(self, planted):
+        baseline, candidate = planted
+        assert bench_compare.main(
+            ["--threshold", "2.5", baseline, candidate]) == 0
+
+    def test_improvement_and_growth_pass(self, tmp_path, capsys):
+        baseline = write_bench_json("grow", {"op": 10.0},
+                                    out_dir=str(tmp_path / "base"))
+        candidate = write_bench_json("grow", {"op": 4.0, "extra": 1.0},
+                                     out_dir=str(tmp_path / "cand"))
+        assert bench_compare.main([baseline, candidate]) == 0
+        out = capsys.readouterr().out
+        assert "improved op" in out
+        assert "new      extra" in out
+
+    def test_unusable_input_is_exit_2(self, planted, tmp_path, capsys):
+        baseline, _ = planted
+        assert bench_compare.main([baseline, str(tmp_path / "nope.json")]) == 2
+        other = write_bench_json("other", {"op": 1.0},
+                                 out_dir=str(tmp_path / "other"))
+        assert bench_compare.main([baseline, other]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"ops": {}}', encoding="utf-8")
+        assert bench_compare.main([baseline, str(bad)]) == 2
+        assert "unsupported bench JSON version" in capsys.readouterr().err

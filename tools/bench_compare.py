@@ -1,0 +1,119 @@
+"""Diff two benchmark JSON artifacts and gate on regressions.
+
+``benchmarks/out/<name>.json`` files (written by
+``benchmarks/_workload.write_bench_json`` or the conftest auto-emit
+hook) record per-operation median milliseconds.  This tool compares a
+baseline against a candidate run of the same benchmark::
+
+    python tools/bench_compare.py baseline.json candidate.json
+    python tools/bench_compare.py --threshold 0.10 old.json new.json
+
+An operation regresses when its candidate median exceeds the baseline
+by more than ``--threshold`` (a fraction: 0.25 means "25 % slower
+fails").  The exit status is the CI contract: 0 when nothing regressed,
+1 when something did, 2 on unusable input (missing file, schema
+mismatch, different benchmarks).  Operations present in only one file
+are reported but never fail the gate — benchmarks are allowed to grow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Artifacts faster than this are pure noise at perf_counter resolution;
+#: below it, ratios are not evidence of anything.
+MIN_MEANINGFUL_MS = 0.05
+
+
+def load_artifact(path: str) -> Dict[str, object]:
+    """Read one bench JSON, failing loudly on schema it cannot diff."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "ops" not in data:
+        raise ValueError(f"{path}: not a bench artifact (no 'ops' key)")
+    if data.get("version") != 1:
+        raise ValueError(
+            f"{path}: unsupported bench JSON version {data.get('version')!r}")
+    return data
+
+
+def compare(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    threshold: float,
+) -> Tuple[List[str], List[str]]:
+    """Returns (report lines, regressed operation labels)."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    base_ops: Dict[str, dict] = baseline["ops"]  # type: ignore[assignment]
+    cand_ops: Dict[str, dict] = candidate["ops"]  # type: ignore[assignment]
+    if baseline.get("name") != candidate.get("name"):
+        raise ValueError(
+            f"different benchmarks: {baseline.get('name')!r} "
+            f"vs {candidate.get('name')!r}")
+    if baseline.get("engine") != candidate.get("engine"):
+        lines.append(
+            f"note: engine variants differ "
+            f"({baseline.get('engine')!r} vs {candidate.get('engine')!r})")
+    for label in sorted(set(base_ops) | set(cand_ops)):
+        if label not in base_ops:
+            lines.append(f"  new      {label}: "
+                         f"{cand_ops[label]['median_ms']:.3f} ms (no baseline)")
+            continue
+        if label not in cand_ops:
+            lines.append(f"  removed  {label}")
+            continue
+        old = float(base_ops[label]["median_ms"])
+        new = float(cand_ops[label]["median_ms"])
+        if old < MIN_MEANINGFUL_MS and new < MIN_MEANINGFUL_MS:
+            lines.append(f"  ~        {label}: below timer resolution")
+            continue
+        ratio = new / old if old > 0 else float("inf")
+        delta = f"{old:.3f} -> {new:.3f} ms ({ratio:.0%} of baseline)"
+        if ratio > 1.0 + threshold:
+            regressions.append(label)
+            lines.append(f"  REGRESSED {label}: {delta}")
+        elif ratio < 1.0 - threshold:
+            lines.append(f"  improved {label}: {delta}")
+        else:
+            lines.append(f"  ok       {label}: {delta}")
+    return lines, regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate on regressions between two bench JSON artifacts.")
+    parser.add_argument("baseline", help="baseline artifact (the reference)")
+    parser.add_argument("candidate", help="candidate artifact (the new run)")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed slowdown fraction before an op regresses "
+             "(default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        print("threshold must be non-negative", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_artifact(args.baseline)
+        candidate = load_artifact(args.candidate)
+        lines, regressions = compare(baseline, candidate, args.threshold)
+    except (OSError, ValueError, json.JSONDecodeError, KeyError) as exc:
+        print(f"bench_compare: {exc}", file=sys.stderr)
+        return 2
+    print(f"bench_compare: {baseline['name']} "
+          f"(threshold {args.threshold:.0%})")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"{len(regressions)} operation(s) regressed: "
+              + ", ".join(regressions))
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
