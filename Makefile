@@ -1,6 +1,6 @@
 # Convenience targets for the RDF-Analytics reproduction.
 
-.PHONY: install test lint typecheck check bench bench-smoke bench-json chaos examples all clean
+.PHONY: install test lint typecheck check bench bench-smoke bench-json bench-gate chaos examples all clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -41,21 +41,44 @@ bench-smoke:
 	PYTHONPATH=src REPRO_BENCH_SIZES=100 pytest benchmarks/bench_engine_micro.py \
 		benchmarks/bench_scalability_facets.py \
 		benchmarks/bench_ablation_dictionary.py \
+		benchmarks/bench_ablation_sharding.py \
 		-m smoke --benchmark-only -q \
 		--benchmark-max-time=0.2 --benchmark-min-rounds=1 \
 		--benchmark-warmup=off
 
 # Machine-readable smoke run: the engine micro-benchmarks, the facet
-# sweep and the columnar ablation at the smallest size, leaving
-# benchmarks/out/*.json artifacts for tools/bench_compare.py.
+# sweep (size × shard-count curves) and the columnar + sharding
+# ablations at the smallest size, leaving benchmarks/out/*.json
+# artifacts for tools/bench_compare.py.
 bench-json:
 	PYTHONPATH=src REPRO_BENCH_SIZES=100 pytest benchmarks/bench_engine_micro.py \
 		benchmarks/bench_scalability_facets.py \
 		benchmarks/bench_ablation_columnar.py \
+		benchmarks/bench_ablation_sharding.py \
 		-m smoke --benchmark-only -q \
 		--benchmark-max-time=0.2 --benchmark-min-rounds=1 \
 		--benchmark-warmup=off
 	@ls benchmarks/out/*.json
+
+# Regression gate over the whole artifact tree: re-run the machine-
+# readable smoke benches into a scratch directory, then diff every
+# matching benchmarks/out/*.json baseline against the fresh run with
+# tools/bench_compare.py --dir (exit 1 on regression, 2 on unusable
+# artifacts).  Smoke timings are noisy, hence the loose threshold.
+BENCH_GATE_OUT ?= benchmarks/.gate-out
+BENCH_GATE_THRESHOLD ?= 0.5
+bench-gate:
+	rm -rf $(BENCH_GATE_OUT)
+	PYTHONPATH=src REPRO_BENCH_SIZES=100 REPRO_BENCH_OUT=$(BENCH_GATE_OUT) \
+		pytest benchmarks/bench_engine_micro.py \
+		benchmarks/bench_scalability_facets.py \
+		benchmarks/bench_ablation_columnar.py \
+		benchmarks/bench_ablation_sharding.py \
+		-m smoke --benchmark-only -q \
+		--benchmark-max-time=0.2 --benchmark-min-rounds=1 \
+		--benchmark-warmup=off
+	python tools/bench_compare.py --dir --threshold $(BENCH_GATE_THRESHOLD) \
+		benchmarks/out $(BENCH_GATE_OUT)
 
 chaos:
 	pytest tests/ -m chaos -q
@@ -66,5 +89,5 @@ examples:
 all: test bench
 
 clean:
-	rm -rf benchmarks/out .pytest_cache .hypothesis
+	rm -rf benchmarks/out benchmarks/.gate-out .pytest_cache .hypothesis
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -4,10 +4,18 @@ Measures, over synthetic KGs of growing size, the cost of the
 interaction-critical operations: session startup (closure), class
 markers, property facets with counts, a path expansion, and a full
 analytic run.  Shape: near-linear growth.
+
+``test_scalability_shard_curve`` adds the sharded-data-plane axis: the
+same sweep crossed with shard counts (1, 4, 8 by default), emitting a
+machine-readable scalability curve (``scalability_shards.json``) that
+``tools/bench_compare.py`` diffs between runs.  ``REPRO_BENCH_SIZES``
+scales the sweep from the smoke size (100 laptops) up to the 10 M-
+triple mark (~1_700_000 laptops at ~6 triples each).
 """
 
 import gc
 import os
+import statistics
 import time
 
 import pytest
@@ -15,7 +23,9 @@ import pytest
 from repro.datasets import SyntheticConfig, synthetic_graph
 from repro.facets import FacetedAnalyticsSession
 from repro.rdf.namespace import EX
+from repro.rdf.sharding import ShardedGraph
 
+from _workload import write_bench_json
 from conftest import format_table
 
 pytestmark = pytest.mark.smoke
@@ -25,6 +35,12 @@ pytestmark = pytest.mark.smoke
 SIZES = tuple(
     int(size)
     for size in os.environ.get("REPRO_BENCH_SIZES", "100,400,1600").split(",")
+)
+
+#: Shard counts crossed with the size sweep in the shard-curve test.
+SHARD_COUNTS = tuple(
+    int(n)
+    for n in os.environ.get("REPRO_BENCH_SHARDS", "1,4,8").split(",")
 )
 
 
@@ -73,6 +89,63 @@ def test_scalability(benchmark, artifact_writer):
     for op in operations:
         small, large = results[SIZES[0]][op], results[SIZES[-1]][op]
         assert large < max(small, 1e-4) * 300
+
+
+def measure_shard_curve(sizes=SIZES, shard_counts=SHARD_COUNTS, rounds=3):
+    """Median ``all_facets`` seconds per (size, shard count) — the
+    shard axis of the scalability curve.  The facet cache is cleared
+    every round so the id-level scan is measured, not a cache hit."""
+    curve = {}
+    for size in sizes:
+        graph = synthetic_graph(SyntheticConfig(laptops=size, seed=21))
+        per_shards = {}
+        for shards in shard_counts:
+            store = ShardedGraph.from_graph(graph, shards=shards)
+            session = FacetedAnalyticsSession(store)
+            session.select_class(EX.Laptop)
+            samples = []
+            session.all_facets()  # warm: id-space extension memo
+            for _ in range(rounds):
+                gc.collect()
+                session._facet_cache.clear()
+                started = time.perf_counter()
+                session.all_facets()
+                samples.append(time.perf_counter() - started)
+            per_shards[shards] = statistics.median(samples)
+            store.close()
+            session.graph.close()
+        curve[size] = per_shards
+    return curve
+
+
+def test_scalability_shard_curve(benchmark, artifact_writer):
+    curve = benchmark.pedantic(measure_shard_curve, rounds=1, iterations=1)
+
+    ops = {
+        f"all_facets_shards{shards}_{size}": seconds * 1000.0
+        for size, per_shards in curve.items()
+        for shards, seconds in per_shards.items()
+    }
+    body = [
+        (size, *(f"{curve[size][n] * 1000:.1f} ms" for n in SHARD_COUNTS))
+        for size in curve
+    ]
+    text = "Scalability of all_facets across shard counts\n"
+    text += format_table(
+        ["laptops"] + [f"{n} shard(s)" for n in SHARD_COUNTS], body)
+    artifact_writer("scalability_shards.txt", text)
+    write_bench_json(
+        "scalability_shards", ops,
+        params={"sizes": list(curve), "shard_counts": list(SHARD_COUNTS),
+                "seed": 21},
+        engine="sharded-columnar",
+    )
+
+    # Shape: adding shards never blows the scan up catastrophically.
+    for size, per_shards in curve.items():
+        base = per_shards[min(per_shards)]
+        for shards, seconds in per_shards.items():
+            assert seconds < max(base, 1e-4) * 50
 
 
 def test_facet_computation_speed(benchmark):

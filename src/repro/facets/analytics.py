@@ -278,6 +278,10 @@ class FacetedAnalyticsSession(FacetedSession):
         self._with_count = False
         #: strict-mode memo: (schema, (query, root_class), report)
         self._analysis_memo = None
+        #: (generation, extension, sorted terms, parallel ids) — the
+        #: native engines' evaluation domain, reused across runs of the
+        #: same state so repeated analytics skip the sort + re-encode.
+        self._domain_memo = None
 
     # ------------------------------------------------------------------
     # Button state
@@ -494,6 +498,23 @@ class FacetedAnalyticsSession(FacetedSession):
         base = self.hifun_query()
         return base.restricted(grouping=restrictions), intention.root_class
 
+    def _analysis_domain(self):
+        """The native engines' evaluation domain: the extension sorted
+        by term sort key with its parallel encoded-id column, memoized
+        per (generation, state) — exactly the ``items``/``items_ids``
+        contract of :func:`repro.hifun.evaluator.evaluate_hifun`."""
+        graph = self.graph
+        generation = graph.generation
+        extension = self.extension
+        memo = self._domain_memo
+        if (memo is not None and memo[0] == generation
+                and memo[1] is extension):
+            return memo[2], memo[3]
+        terms = sorted(extension, key=lambda t: t.sort_key())
+        ids = [graph.encode_term(t) for t in terms]
+        self._domain_memo = (generation, extension, terms, ids)
+        return terms, ids
+
     def run(self, engine: str = "sparql", endpoint=None) -> AnswerFrame:
         """Execute the analytic query over the current state's extension.
 
@@ -531,8 +552,10 @@ class FacetedAnalyticsSession(FacetedSession):
         self._static_check(query)
         if engine in ("native", "columnar", "row"):
             hifun_engine = None if engine == "native" else engine
-            answer = evaluate_hifun(self.graph, query, items=self.extension,
-                                    engine=hifun_engine)
+            domain_terms, domain_ids = self._analysis_domain()
+            answer = evaluate_hifun(self.graph, query, items=domain_terms,
+                                    engine=hifun_engine,
+                                    items_ids=domain_ids)
             columns = [g.label for g in self._groups]
             columns += [
                 f"{op.lower()}"

@@ -102,6 +102,12 @@ class FacetedSession:
         # "only fresh *facet* values, nothing else" — tests assert it
         # stays empty when every count degrades.
         self._individuals_memo: Optional[Tuple[int, FrozenSet[Term]]] = None
+        # The sharded plane's scan input: the extension in id space
+        # (literals dropped), memoized per (generation, state).  The
+        # shard kernels consume ids, so a sharded session re-encodes the
+        # extension once per state instead of once per scan — at the
+        # million-triple scale the re-encode dominates the scan itself.
+        self._ext_ids_memo: Optional[Tuple[int, FrozenSet[Term], FrozenSet[int]]] = None
         if results is not None:
             seeds = frozenset(results)
             intention = Intention(seeds=tuple(sorted(seeds, key=lambda t: t.sort_key())))
@@ -134,6 +140,31 @@ class FacetedSession:
         individuals = frozenset(graph.decode_ids(subject_ids))
         self._individuals_memo = (generation, individuals)
         return individuals
+
+    def _extension_ids(self) -> FrozenSet[int]:
+        """The current extension in id space with literals dropped —
+        the shard kernels' scan input.
+
+        Memoized per (generation, state): dictionary ids are
+        append-only, so within one generation the encoding can only be
+        recomputed to the same answer; a new state carries a new
+        extension frozenset (compared by identity — states reuse their
+        frozensets), and any mutation invalidates conservatively.
+        """
+        graph = self.graph
+        generation = graph.generation
+        extension = self.extension
+        memo = self._ext_ids_memo
+        if memo is not None and memo[0] == generation and memo[1] is extension:
+            return memo[2]
+        decode = graph.decode_id
+        ids = frozenset(
+            eid
+            for eid in graph.encode_terms(extension)
+            if not isinstance(decode(eid), Literal)
+        )
+        self._ext_ids_memo = (generation, extension, ids)
+        return ids
 
     # ------------------------------------------------------------------
     # State access
@@ -306,42 +337,54 @@ class FacetedSession:
             for pid in (graph.encode_term(p) for p in self._SCHEMA_PROPS)
             if pid is not None
         }
-        # Literal members contribute to no facet (they have no forward
-        # edges, and _compute_facet skips them for inverse ones too).
-        ext_set = {
-            eid
-            for eid in graph.encode_terms(self.extension)
-            if not isinstance(decode(eid), Literal)
-        }
         # (prop_id, inverse) → value_id → count, plus the per-property
         # count of extension members having the property at all.
-        counters: Dict[Tuple[int, bool], Dict[int, int]] = {}
-        having: Dict[Tuple[int, bool], int] = {}
-        for pid in graph.all_predicate_ids():
-            if pid in schema_ids:
-                continue
-            rows = graph.pos_ids(pid)
-            counter: Dict[int, int] = {}
-            havers: Set[int] = set()
-            for value_id, subjects in rows.items():
-                members = ext_set & subjects
-                if members:
-                    counter[value_id] = len(members)
-                    havers |= members
-            if counter:
-                counters[(pid, False)] = counter
-                having[(pid, False)] = len(havers)
-            if include_inverse:
-                counter = {}
-                with_property = 0
+        counters: Dict[Tuple[int, bool], Dict[int, int]]
+        having: Dict[Tuple[int, bool], int]
+        if graph.num_shards > 1:
+            # The sharded plane: per-shard kernels over the POS slices
+            # (fanned out across workers when the executor is active),
+            # fed the memoized id-space extension.  Merged counters are
+            # byte-identical to the flat scan below — the shard
+            # invariance tests pin it.
+            counters, having = graph.facet_counts(
+                self._extension_ids(), schema_ids, include_inverse)
+        else:
+            # Literal members contribute to no facet (they have no
+            # forward edges, and _compute_facet skips them for inverse
+            # ones too).
+            ext_set = {
+                eid
+                for eid in graph.encode_terms(self.extension)
+                if not isinstance(decode(eid), Literal)
+            }
+            counters = {}
+            having = {}
+            for pid in graph.all_predicate_ids():
+                if pid in schema_ids:
+                    continue
+                rows = graph.pos_ids(pid)
+                counter: Dict[int, int] = {}
+                havers: Set[int] = set()
                 for value_id, subjects in rows.items():
-                    if value_id in ext_set:
-                        with_property += 1
-                        for sid in subjects:
-                            counter[sid] = counter.get(sid, 0) + 1
+                    members = ext_set & subjects
+                    if members:
+                        counter[value_id] = len(members)
+                        havers |= members
                 if counter:
-                    counters[(pid, True)] = counter
-                    having[(pid, True)] = with_property
+                    counters[(pid, False)] = counter
+                    having[(pid, False)] = len(havers)
+                if include_inverse:
+                    counter = {}
+                    with_property = 0
+                    for value_id, subjects in rows.items():
+                        if value_id in ext_set:
+                            with_property += 1
+                            for sid in subjects:
+                                counter[sid] = counter.get(sid, 0) + 1
+                    if counter:
+                        counters[(pid, True)] = counter
+                        having[(pid, True)] = with_property
         # Decode each property once, drop non-IRI predicates, order like
         # applicable_properties, and materialize the facets.
         refs: List[Tuple[PropertyRef, Tuple[int, bool]]] = []

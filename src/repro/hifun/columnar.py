@@ -145,8 +145,12 @@ class _Evaluation:
                 src, dst = new_src, new_dst
             elif isinstance(step, Attribute):
                 if mode == ID_MODE:
-                    src, dst = engine.follow(src, dst, self._prop_id(step.prop),
-                                             step.inverse)
+                    prop_id = self._prop_id(step.prop)
+                    # On a sharded graph with an active executor this
+                    # warms the successor memo for the whole frontier in
+                    # one fan-out; everywhere else it is a no-op.
+                    engine.prefetch(dst, prop_id, step.inverse)
+                    src, dst = engine.follow(src, dst, prop_id, step.inverse)
                 else:
                     new_src, new_dst = [], []
                     for origin, node in zip(src, dst):
@@ -197,14 +201,31 @@ class _Evaluation:
 
 
 def _sorted_domain(graph: Graph, items: Optional[Iterable[Term]],
-                   root_class: Optional[IRI]) -> Tuple[List[Term], List[Optional[int]]]:
+                   root_class: Optional[IRI],
+                   items_ids: Optional[Sequence[Optional[int]]] = None,
+                   ) -> Tuple[List[Term], List[Optional[int]]]:
     """The evaluation domain, sorted by term sort key, with its parallel
     id column (``None`` for terms the dictionary has never seen — they
     stay in the domain, exactly as in the row engine, and simply have no
-    edges)."""
+    edges).
+
+    ``items_ids``, when given, is the pre-encoded id column parallel to
+    ``items``; the caller then warrants that ``items`` is already
+    deduplicated and in term sort order (the analytics session's
+    memoized domain) — the sort and the per-term dictionary probes are
+    skipped entirely.
+    """
     from repro.rdf.namespace import RDF
 
     if items is not None:
+        if items_ids is not None:
+            terms = list(items)
+            ids = list(items_ids)
+            if len(terms) != len(ids):
+                raise ValueError(
+                    f"items_ids must parallel items: "
+                    f"{len(ids)} ids for {len(terms)} items")
+            return terms, ids
         terms = sorted(set(items), key=lambda t: t.sort_key())
         return terms, [graph.encode_term(t) for t in terms]
     engine = ColumnEngine(graph)
@@ -224,13 +245,16 @@ def evaluate_hifun_columnar(
     query: HifunQuery,
     items: Optional[Iterable[Term]] = None,
     root_class: Optional[IRI] = None,
+    items_ids: Optional[Sequence[Optional[int]]] = None,
 ) -> AnswerFunction:
     """Evaluate a HIFUN query with the columnar batch engine.
 
     Same signature and — by construction and by test — same result as
-    :func:`repro.hifun.evaluator.evaluate_hifun_row`.
+    :func:`repro.hifun.evaluator.evaluate_hifun_row` (``items_ids`` is
+    the pre-encoded domain fast path; see :func:`_sorted_domain`).
     """
-    domain_terms, domain_ids = _sorted_domain(graph, items, root_class)
+    domain_terms, domain_ids = _sorted_domain(graph, items, root_class,
+                                              items_ids)
     ev = _Evaluation(graph, domain_terms, domain_ids)
 
     # Restrictions filter the domain sequentially; a restriction on the

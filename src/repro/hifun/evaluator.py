@@ -166,13 +166,21 @@ DEFAULT_ENGINE = "columnar"
 
 def evaluate_hifun(graph: Graph, query: HifunQuery, items: Optional[Iterable[Term]] = None,
                    root_class: Optional[IRI] = None,
-                   engine: Optional[str] = None) -> AnswerFunction:
+                   engine: Optional[str] = None,
+                   items_ids: Optional[Sequence[Optional[int]]] = None) -> AnswerFunction:
     """Evaluate a HIFUN query natively over ``graph``.
 
     ``items`` fixes the analysis root ``D`` explicitly; otherwise, if
     ``root_class`` is given its instances are used; otherwise all
     subjects having every involved attribute participate (mirroring the
     translation, where unmatched items simply produce no rows).
+
+    ``items_ids`` is the batch engine's fast path for repeated
+    evaluations over the same root (the analytics session memoizes it
+    per state): the encoded-id column parallel to ``items``, which must
+    then already be deduplicated and sorted by term sort key.  The row
+    engine ignores it (it re-derives its own domain), so both engines
+    keep producing identical answers either way.
 
     ``engine`` selects the execution strategy: ``"columnar"`` (the
     batch frontier-join engine, the default) or ``"row"`` (the
@@ -188,7 +196,8 @@ def evaluate_hifun(graph: Graph, query: HifunQuery, items: Optional[Iterable[Ter
     if engine == "columnar":
         from repro.hifun.columnar import evaluate_hifun_columnar
 
-        return evaluate_hifun_columnar(graph, query, items, root_class)
+        return evaluate_hifun_columnar(graph, query, items, root_class,
+                                       items_ids=items_ids)
     raise ValueError(
         f"unknown HIFUN engine {engine!r}; expected 'row' or 'columnar'"
     )

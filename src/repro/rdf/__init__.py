@@ -13,8 +13,12 @@ parts of the RDF stack that RDF-Analytics needs:
   pattern matching.
 * :mod:`repro.rdf.rdfs` — RDFS closure (subClassOf, subPropertyOf, domain,
   range) and class/property hierarchies.
+* :mod:`repro.rdf.sharding` — the hash-partitioned, fan-out-capable
+  twin of the store (:class:`ShardedGraph`) for the scale-out plane.
 * :mod:`repro.rdf.turtle` / :mod:`repro.rdf.ntriples` — parsers and
   serializers for the Turtle subset used by the bundled datasets.
+* :mod:`repro.rdf.bulkload` — streaming bulk loaders feeding (sharded)
+  stores without materializing the input.
 """
 
 from repro.rdf.terms import (
@@ -28,6 +32,7 @@ from repro.rdf.namespace import Namespace, OWL, RDF, RDFS, XSD, EX
 from repro.rdf.dictionary import PassthroughDictionary, TermDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.rdfs import RDFSClosure, SchemaView
+from repro.rdf.sharding import ShardedGraph
 
 __all__ = [
     "BNode",
@@ -45,5 +50,6 @@ __all__ = [
     "PassthroughDictionary",
     "RDFSClosure",
     "SchemaView",
+    "ShardedGraph",
     "TermDictionary",
 ]

@@ -65,6 +65,25 @@ class TermDictionary:
         decode = self.decode
         return {decode(ident) for ident in ids}
 
+    def decode_list(self, ids: Iterable[int]) -> List[Term]:
+        """Decode ids preserving order/multiplicity (column boundaries)."""
+        decode = self.decode
+        return [decode(ident) for ident in ids]
+
+    def clone(self) -> "TermDictionary":
+        """An independent copy with identical term ↔ id assignments.
+
+        Used when repartitioning a store (``ShardedGraph.from_graph``):
+        copying the two maps wholesale is far cheaper than re-interning
+        every term, and — because ids are append-only — the clone stays
+        valid for every id the source ever issued.
+        """
+        twin = TermDictionary()
+        twin._ids = dict(self._ids)
+        twin._terms = list(self._terms)
+        twin.decode = twin._terms.__getitem__
+        return twin
+
     def __len__(self) -> int:
         return len(self._terms)
 
@@ -104,6 +123,13 @@ class PassthroughDictionary:
     @staticmethod
     def decode_all(ids: Iterable[Term]) -> Set[Term]:
         return set(ids)
+
+    @staticmethod
+    def decode_list(ids: Iterable[Term]) -> List[Term]:
+        return list(ids)
+
+    def clone(self) -> "PassthroughDictionary":
+        return self
 
     def __len__(self) -> int:
         return 0

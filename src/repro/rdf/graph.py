@@ -28,6 +28,14 @@ Pattern matching uses ``None`` as a wildcard::
 ``Graph(encoded=False)`` keeps the whole machinery but swaps the
 dictionary for the identity encoding — the seed's term-keyed layout —
 for the ablation benchmark.
+
+:mod:`repro.rdf.sharding` provides :class:`~repro.rdf.sharding.
+ShardedGraph`, the scale-out twin: the same public surface, but the
+three indexes are hash-partitioned by subject id into N independent
+slices so scans can fan out across shards (and, on multi-core hosts,
+across worker processes).  The pattern-matching core is shared — see
+:func:`_match_pattern` — so both layouts answer every triple pattern
+through identical code.
 """
 
 from __future__ import annotations
@@ -42,8 +50,161 @@ from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, triple
 EMPTY_IDS: frozenset = frozenset()
 
 
+def _index_add(spo, pos, osp, si, pi, oi) -> bool:
+    """Insert one encoded triple into a (spo, pos, osp) index slice.
+
+    Returns ``True`` if the triple was not already present.  Shared by
+    :meth:`Graph.add` and the per-shard inserts of
+    :class:`repro.rdf.sharding.ShardedGraph`, so both layouts maintain
+    their nested maps through identical code.
+    """
+    po = spo.get(si)
+    if po is None:
+        po = spo[si] = {}
+    objects = po.get(pi)
+    if objects is None:
+        objects = po[pi] = set()
+    if oi in objects:
+        return False
+    objects.add(oi)
+    os_ = pos.get(pi)
+    if os_ is None:
+        os_ = pos[pi] = {}
+    subjects = os_.get(oi)
+    if subjects is None:
+        subjects = os_[oi] = set()
+    subjects.add(si)
+    sp = osp.get(oi)
+    if sp is None:
+        sp = osp[oi] = {}
+    preds = sp.get(si)
+    if preds is None:
+        preds = sp[si] = set()
+    preds.add(pi)
+    return True
+
+
+def _index_remove(spo, pos, osp, si, pi, oi) -> bool:
+    """Remove one encoded triple from a (spo, pos, osp) index slice,
+    pruning emptied slots eagerly.  Returns ``True`` if it was present.
+    """
+    po = spo.get(si)
+    if po is None:
+        return False
+    objects = po.get(pi)
+    if objects is None or oi not in objects:
+        return False
+    objects.remove(oi)
+    if not objects:
+        del po[pi]
+        if not po:
+            del spo[si]
+    os_ = pos[pi]
+    subjects = os_[oi]
+    subjects.remove(si)
+    if not subjects:
+        del os_[oi]
+        if not os_:
+            del pos[pi]
+    sp = osp[oi]
+    preds = sp[si]
+    preds.remove(pi)
+    if not preds:
+        del sp[si]
+        if not sp:
+            del osp[oi]
+    return True
+
+
+def _match_pattern(lookup, decode, spo, pos, osp, s, p, o) -> Iterator[Triple]:
+    """Yield all triples of one (spo, pos, osp) index triple matching the
+    pattern (``None`` = wildcard).
+
+    This is the pattern-dispatch core of :meth:`Graph.triples`, factored
+    out so a sharded store can run it per shard slice: ``lookup`` /
+    ``decode`` are the dictionary's term ↔ id functions and the three
+    maps are *one* store slice's nested indexes.  Yielded terms are the
+    canonical (interned) instances.
+    """
+    if s is not None:
+        si = lookup(s)
+        if si is None:
+            return
+        po = spo.get(si)
+        if po is None:
+            return
+        if p is not None:
+            pi = lookup(p)
+            objects = po.get(pi) if pi is not None else None
+            if objects is None:
+                return
+            if o is not None:
+                oi = lookup(o)
+                if oi is not None and oi in objects:
+                    yield (s, p, o)
+                return
+            for oi in objects:
+                yield (s, p, decode(oi))
+            return
+        if o is not None:
+            oi = lookup(o)
+            if oi is None:
+                return
+            for pi, objects in po.items():
+                if oi in objects:
+                    yield (s, decode(pi), o)
+            return
+        for pi, objects in po.items():
+            pred = decode(pi)
+            for oi in objects:
+                yield (s, pred, decode(oi))
+        return
+    if p is not None:
+        pi = lookup(p)
+        if pi is None:
+            return
+        os_ = pos.get(pi)
+        if os_ is None:
+            return
+        if o is not None:
+            oi = lookup(o)
+            if oi is None:
+                return
+            for si in os_.get(oi, EMPTY_IDS):
+                yield (decode(si), p, o)
+            return
+        for oi, subjects in os_.items():
+            obj = decode(oi)
+            for si in subjects:
+                yield (decode(si), p, obj)
+        return
+    if o is not None:
+        oi = lookup(o)
+        if oi is None:
+            return
+        sp = osp.get(oi)
+        if sp is None:
+            return
+        for si, preds in sp.items():
+            subj = decode(si)
+            for pi in preds:
+                yield (subj, decode(pi), o)
+        return
+    for si, po in spo.items():
+        subj = decode(si)
+        for pi, objects in po.items():
+            pred = decode(pi)
+            for oi in objects:
+                yield (subj, pred, decode(oi))
+
+
 class Graph:
     """A mutable set of RDF triples with SPO/POS/OSP indexes."""
+
+    #: Number of hash partitions; 1 for the plain store.  Subclasses
+    #: that partition (see :mod:`repro.rdf.sharding`) override this per
+    #: instance, letting engines branch on layout without isinstance.
+    num_shards = 1
 
     def __init__(self, triples: Optional[Iterable[Triple]] = None,
                  encoded: bool = True):
@@ -129,29 +290,8 @@ class Graph:
         s, p, o = triple(s, p, o)
         encode = self._dict.encode
         si, pi, oi = encode(s), encode(p), encode(o)
-        po = self._spo.get(si)
-        if po is None:
-            po = self._spo[si] = {}
-        objects = po.get(pi)
-        if objects is None:
-            objects = po[pi] = set()
-        if oi in objects:
+        if not _index_add(self._spo, self._pos, self._osp, si, pi, oi):
             return False
-        objects.add(oi)
-        os_ = self._pos.get(pi)
-        if os_ is None:
-            os_ = self._pos[pi] = {}
-        subjects = os_.get(oi)
-        if subjects is None:
-            subjects = os_[oi] = set()
-        subjects.add(si)
-        sp = self._osp.get(oi)
-        if sp is None:
-            sp = self._osp[oi] = {}
-        preds = sp.get(si)
-        if preds is None:
-            preds = sp[si] = set()
-        preds.add(pi)
         self._size += 1
         self._pred_count[pi] = self._pred_count.get(pi, 0) + 1
         self.generation += 1
@@ -176,31 +316,8 @@ class Graph:
         si, pi, oi = lookup(s), lookup(p), lookup(o)
         if si is None or pi is None or oi is None:
             return False
-        po = self._spo.get(si)
-        if po is None:
+        if not _index_remove(self._spo, self._pos, self._osp, si, pi, oi):
             return False
-        objects = po.get(pi)
-        if objects is None or oi not in objects:
-            return False
-        objects.remove(oi)
-        if not objects:
-            del po[pi]
-            if not po:
-                del self._spo[si]
-        os_ = self._pos[pi]
-        subjects = os_[oi]
-        subjects.remove(si)
-        if not subjects:
-            del os_[oi]
-            if not os_:
-                del self._pos[pi]
-        sp = self._osp[oi]
-        preds = sp[si]
-        preds.remove(pi)
-        if not preds:
-            del sp[si]
-            if not sp:
-                del self._osp[oi]
         self._size -= 1
         remaining = self._pred_count[pi] - 1
         if remaining:
@@ -229,78 +346,10 @@ class Graph:
         Yielded terms are the canonical (interned) instances, so
         consumers may compare them by identity first.
         """
-        lookup = self._dict.lookup
-        decode = self._dict.decode
-        if s is not None:
-            si = lookup(s)
-            if si is None:
-                return
-            po = self._spo.get(si)
-            if po is None:
-                return
-            if p is not None:
-                pi = lookup(p)
-                objects = po.get(pi) if pi is not None else None
-                if objects is None:
-                    return
-                if o is not None:
-                    oi = lookup(o)
-                    if oi is not None and oi in objects:
-                        yield (s, p, o)
-                    return
-                for oi in objects:
-                    yield (s, p, decode(oi))
-                return
-            if o is not None:
-                oi = lookup(o)
-                if oi is None:
-                    return
-                for pi, objects in po.items():
-                    if oi in objects:
-                        yield (s, decode(pi), o)
-                return
-            for pi, objects in po.items():
-                pred = decode(pi)
-                for oi in objects:
-                    yield (s, pred, decode(oi))
-            return
-        if p is not None:
-            pi = lookup(p)
-            if pi is None:
-                return
-            os_ = self._pos.get(pi)
-            if os_ is None:
-                return
-            if o is not None:
-                oi = lookup(o)
-                if oi is None:
-                    return
-                for si in os_.get(oi, EMPTY_IDS):
-                    yield (decode(si), p, o)
-                return
-            for oi, subjects in os_.items():
-                obj = decode(oi)
-                for si in subjects:
-                    yield (decode(si), p, obj)
-            return
-        if o is not None:
-            oi = lookup(o)
-            if oi is None:
-                return
-            sp = self._osp.get(oi)
-            if sp is None:
-                return
-            for si, preds in sp.items():
-                subj = decode(si)
-                for pi in preds:
-                    yield (subj, decode(pi), o)
-            return
-        for si, po in self._spo.items():
-            subj = decode(si)
-            for pi, objects in po.items():
-                pred = decode(pi)
-                for oi in objects:
-                    yield (subj, pred, decode(oi))
+        return _match_pattern(
+            self._dict.lookup, self._dict.decode,
+            self._spo, self._pos, self._osp, s, p, o,
+        )
 
     def __contains__(self, t: Triple) -> bool:
         s, p, o = t
@@ -438,8 +487,17 @@ class Graph:
     # ------------------------------------------------------------------
     # Set operations
     # ------------------------------------------------------------------
+    def _new_like(self, triples: Optional[Iterable[Triple]] = None) -> "Graph":
+        """An empty (or pre-filled) store with this one's layout.
+
+        Subclasses override to preserve their partitioning, so derived
+        graphs (copies, differences, schema closures — which start from
+        ``source.copy()``) keep the concrete store class.
+        """
+        return type(self)(triples, encoded=self.encoded)
+
     def copy(self) -> "Graph":
-        return Graph(self.triples(), encoded=self.encoded)
+        return self._new_like(self.triples())
 
     def union(self, other: "Graph") -> "Graph":
         result = self.copy()
@@ -447,12 +505,8 @@ class Graph:
         return result
 
     def difference(self, other: "Graph") -> "Graph":
-        return Graph(
-            (t for t in self if t not in other), encoded=self.encoded
-        )
+        return self._new_like(t for t in self if t not in other)
 
     def filter_subjects(self, subjects: Set[Term]) -> "Graph":
         """The sub-graph of triples whose subject is in ``subjects``."""
-        return Graph(
-            (t for t in self if t[0] in subjects), encoded=self.encoded
-        )
+        return self._new_like(t for t in self if t[0] in subjects)

@@ -9,7 +9,7 @@ datatype or language tag).
 from __future__ import annotations
 
 import re
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Optional, Tuple
 
 from repro.rdf.graph import Graph
 from repro.rdf.terms import BNode, IRI, Literal, Triple, XSD_STRING
@@ -77,13 +77,40 @@ def parse_line(line: str) -> Triple:
     return (s, p, o)
 
 
-def parse(text: str) -> Iterator[Triple]:
-    """Parse an N-Triples document, yielding triples."""
-    for raw in text.splitlines():
+def parse_lines(lines: Iterable[str], strict: bool = True,
+                on_skip: Optional[Callable[[int, str], None]] = None,
+                ) -> Iterator[Tuple[int, Triple]]:
+    """Stream ``(line_number, triple)`` pairs from an iterable of lines.
+
+    The streaming core shared by :func:`parse` and the bulk loader
+    (:mod:`repro.rdf.bulkload`): it consumes any line iterable — an
+    open file handle included — one line at a time, so a document never
+    needs to be materialized in memory.  Line numbers are 1-based and
+    count *every* input line (blank and comment lines too), so a
+    reported position matches the file.
+
+    ``strict=True`` (the default) re-raises the first malformed line as
+    an :class:`NTriplesError` carrying the line number; ``strict=False``
+    skips malformed lines, reporting each to ``on_skip(line_no,
+    message)`` when given.
+    """
+    for line_no, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        yield parse_line(line)
+        try:
+            yield line_no, parse_line(line)
+        except NTriplesError as exc:
+            if strict:
+                raise NTriplesError(f"line {line_no}: {exc}") from exc
+            if on_skip is not None:
+                on_skip(line_no, str(exc))
+
+
+def parse(text: str) -> Iterator[Triple]:
+    """Parse an N-Triples document, yielding triples."""
+    for _, parsed in parse_lines(text.splitlines()):
+        yield parsed
 
 
 def parse_into(text: str, graph: Graph = None) -> Graph:

@@ -124,3 +124,82 @@ class TestBenchCompareGate:
         bad.write_text('{"ops": {}}', encoding="utf-8")
         assert bench_compare.main([baseline, str(bad)]) == 2
         assert "unsupported bench JSON version" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The --dir mode: every matching artifact between two trees
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def planted_dirs(tmp_path):
+    base = tmp_path / "base"
+    cand = tmp_path / "cand"
+    write_bench_json("alpha", {"op": 10.0}, out_dir=str(base))
+    write_bench_json("alpha", {"op": 10.4}, out_dir=str(cand))
+    write_bench_json("beta", {"op": 5.0}, out_dir=str(base))
+    write_bench_json("beta", {"op": 5.1}, out_dir=str(cand))
+    return base, cand
+
+
+class TestBenchCompareDirMode:
+    def test_clean_trees_pass(self, planted_dirs, capsys):
+        base, cand = planted_dirs
+        assert bench_compare.main(["--dir", str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "alpha [alpha.json]" in out
+        assert "beta [beta.json]" in out
+        assert "no regressions" in out
+
+    def test_any_regression_anywhere_trips_the_gate(
+            self, planted_dirs, capsys):
+        base, cand = planted_dirs
+        write_bench_json("beta", {"op": 50.0}, out_dir=str(cand))
+        assert bench_compare.main(["--dir", str(base), str(cand)]) == 1
+        assert "beta.json:op" in capsys.readouterr().out
+
+    def test_one_sided_artifacts_are_reported_not_fatal(
+            self, planted_dirs, capsys):
+        base, cand = planted_dirs
+        write_bench_json("base_only", {"op": 1.0}, out_dir=str(base))
+        write_bench_json("cand_only", {"op": 1.0}, out_dir=str(cand))
+        assert bench_compare.main(["--dir", str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "missing artifact  base_only.json" in out
+        assert "new artifact      cand_only.json" in out
+
+    def test_unusable_pair_is_exit_2_after_full_report(
+            self, planted_dirs, capsys):
+        base, cand = planted_dirs
+        (cand / "alpha.json").write_text('{"ops": {}}', encoding="utf-8")
+        assert bench_compare.main(["--dir", str(base), str(cand)]) == 2
+        captured = capsys.readouterr()
+        # The sweep still reports the usable pair before failing.
+        assert "beta [beta.json]" in captured.out
+        assert "alpha.json" in captured.err
+
+    def test_non_directories_are_exit_2(self, planted_dirs, capsys):
+        base, _ = planted_dirs
+        assert bench_compare.main(
+            ["--dir", str(base), str(base / "alpha.json")]) == 2
+        assert "must both be directories" in capsys.readouterr().err
+
+    def test_threshold_applies_per_operation(self, planted_dirs):
+        base, cand = planted_dirs
+        write_bench_json("beta", {"op": 7.0}, out_dir=str(cand))  # +40%
+        assert bench_compare.main(["--dir", str(base), str(cand)]) == 1
+        assert bench_compare.main(
+            ["--dir", "--threshold", "0.5", str(base), str(cand)]) == 0
+
+
+def test_smoke_sharding_ablation_asserts_equivalence(tmp_path):
+    """A tiny ``run_ablation`` from the sharding bench runs its built-in
+    row/columnar/shard-count equality checks and yields timings for
+    every variant."""
+    from bench_ablation_sharding import run_ablation
+
+    results = run_ablation(sizes=[30], shard_counts=(1, 3))
+    assert set(results) == {30}
+    assert set(results[30]) == {1, 3}
+    for timing in results[30].values():
+        assert timing["facets_s"] > 0
+        assert timing["analytic_s"] > 0
+        assert timing["parallel"] in (True, False)

@@ -1,0 +1,168 @@
+"""Streaming bulk load: line numbers, strict/skip semantics, round-trips.
+
+``repro.rdf.bulkload`` streams N-Triples line by line (and Turtle
+document-at-a-time) into flat or sharded stores.  Pinned here: reported
+line numbers match the file exactly (blank and comment lines count),
+``strict`` decides raise-vs-skip, the loaders round-trip against the
+in-memory parsers, and a sharded target receives the same graph a flat
+one does.
+"""
+
+import pytest
+
+from repro.rdf import ntriples, turtle
+from repro.rdf.bulkload import (
+    BulkLoadError,
+    LoadReport,
+    load_file,
+    load_ntriples,
+    load_turtle,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import EX, RDF
+from repro.rdf.ntriples import NTriplesError, parse_lines
+from repro.rdf.sharding import ShardedGraph
+from repro.rdf.terms import Literal
+
+GOOD_NT = """\
+# a comment on line 1
+<http://example.org/a> <http://example.org/p> <http://example.org/b> .
+
+<http://example.org/a> <http://example.org/q> "hello" .
+<http://example.org/b> <http://example.org/p> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+"""
+
+BAD_LINE_5 = GOOD_NT + "this is not a triple\n"
+
+
+class TestParseLines:
+    def test_line_numbers_count_every_line(self):
+        pairs = list(parse_lines(GOOD_NT.splitlines()))
+        # Line 1 is a comment, line 3 blank: statements at 2, 4, 5.
+        assert [line for line, _ in pairs] == [2, 4, 5]
+
+    def test_strict_reports_the_failing_line(self):
+        with pytest.raises(NTriplesError, match=r"^line 6: "):
+            list(parse_lines(BAD_LINE_5.splitlines()))
+
+    def test_non_strict_skips_and_reports(self):
+        skipped = []
+        pairs = list(parse_lines(
+            BAD_LINE_5.splitlines(), strict=False,
+            on_skip=lambda line, message: skipped.append((line, message))))
+        assert len(pairs) == 3
+        assert [line for line, _ in skipped] == [6]
+        assert "not an N-Triples statement" in skipped[0][1]
+
+    def test_parse_delegates_to_the_streaming_core(self):
+        assert list(ntriples.parse(GOOD_NT)) == [
+            triple for _, triple in parse_lines(GOOD_NT.splitlines())]
+
+
+class TestLoadNTriples:
+    def test_round_trips_against_the_parser(self, tmp_path):
+        path = tmp_path / "data.nt"
+        path.write_text(GOOD_NT, encoding="utf-8")
+        graph, report = load_ntriples(path)
+        assert set(graph) == set(ntriples.parse(GOOD_NT))
+        assert report.statements == 3
+        assert report.triples_added == 3
+        assert report.clean
+
+    def test_accepts_open_handles_and_line_iterables(self, tmp_path):
+        path = tmp_path / "data.nt"
+        path.write_text(GOOD_NT, encoding="utf-8")
+        with open(path, "r", encoding="utf-8") as handle:
+            from_handle, _ = load_ntriples(handle)
+            assert not handle.closed  # caller's handle stays the caller's
+        from_lines, _ = load_ntriples(GOOD_NT.splitlines())
+        assert set(from_handle) == set(from_lines) == set(ntriples.parse(GOOD_NT))
+
+    def test_duplicate_statements_add_once(self):
+        doc = GOOD_NT + GOOD_NT
+        graph, report = load_ntriples(doc.splitlines())
+        assert report.statements == 6
+        assert report.triples_added == 3
+        assert len(graph) == 3
+
+    def test_strict_failure_carries_the_line_number(self, tmp_path):
+        path = tmp_path / "bad.nt"
+        path.write_text(BAD_LINE_5, encoding="utf-8")
+        with pytest.raises(BulkLoadError) as excinfo:
+            load_ntriples(path)
+        assert excinfo.value.line == 6
+        assert "line 6" in str(excinfo.value)
+
+    def test_non_strict_collects_skips(self):
+        graph, report = load_ntriples(BAD_LINE_5.splitlines(), strict=False)
+        assert len(graph) == 3
+        assert not report.clean
+        assert [line for line, _ in report.skipped] == [6]
+
+    def test_sharded_target_equals_flat_load(self):
+        flat, _ = load_ntriples(GOOD_NT.splitlines())
+        sharded, report = load_ntriples(GOOD_NT.splitlines(), shards=4)
+        assert isinstance(sharded, ShardedGraph)
+        assert sharded.num_shards == 4
+        assert set(sharded) == set(flat)
+        assert report.triples_added == len(flat)
+        assert sum(sharded.shard_sizes()) == len(flat)
+
+    def test_explicit_target_graph_is_used(self):
+        target = Graph()
+        target.add(EX.seed, RDF.type, EX.Thing)
+        graph, report = load_ntriples(GOOD_NT.splitlines(), graph=target)
+        assert graph is target
+        assert len(graph) == 4
+        assert report.triples_added == 3
+
+
+class TestLoadTurtleAndDispatch:
+    TTL = """\
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b ; ex:q "hello" .
+ex:b ex:p 3 .
+"""
+
+    def test_turtle_round_trips_against_the_parser(self, tmp_path):
+        path = tmp_path / "data.ttl"
+        path.write_text(self.TTL, encoding="utf-8")
+        graph, report = load_turtle(path)
+        assert set(graph) == set(turtle.parse(self.TTL))
+        assert report.triples_added == 3
+        assert report.clean
+
+    def test_turtle_into_sharded_target(self, tmp_path):
+        path = tmp_path / "data.ttl"
+        path.write_text(self.TTL, encoding="utf-8")
+        graph, _ = load_turtle(path, shards=3)
+        assert isinstance(graph, ShardedGraph)
+        assert set(graph) == set(turtle.parse(self.TTL))
+
+    def test_load_file_dispatches_on_suffix(self, tmp_path):
+        nt = tmp_path / "data.nt"
+        nt.write_text(GOOD_NT, encoding="utf-8")
+        ttl = tmp_path / "data.ttl"
+        ttl.write_text(self.TTL, encoding="utf-8")
+        from_nt, _ = load_file(nt)
+        from_ttl, _ = load_file(ttl)
+        assert set(from_nt) == set(ntriples.parse(GOOD_NT))
+        assert set(from_ttl) == set(turtle.parse(self.TTL))
+        with pytest.raises(BulkLoadError, match="cannot infer"):
+            load_file(tmp_path / "data.json")
+
+    def test_serializer_round_trip_through_the_streaming_loader(self):
+        graph = Graph()
+        graph.add(EX.a, EX.p, EX.b)
+        graph.add(EX.a, EX.q, Literal.of("x"))
+        graph.add(EX.b, EX.n, Literal.of(7))
+        text = ntriples.serialize(graph.triples())
+        loaded, report = load_ntriples(text.splitlines())
+        assert set(loaded) == set(graph)
+        assert report.statements == 3
+
+    def test_report_repr_is_informative(self):
+        report = LoadReport(statements=5, triples_added=4,
+                            skipped=[(3, "bad")])
+        assert "5 statements" in repr(report)
+        assert "1 skipped" in repr(report)

@@ -1,0 +1,351 @@
+"""The sharded data plane: partitioning, stats roll-up, equivalence.
+
+The contract under test is the one DESIGN.md states: a
+:class:`~repro.rdf.sharding.ShardedGraph` is *indistinguishable* from
+the flat store through every read API — pattern matching, the id-level
+accessors the engines consume, cardinality stats — and through every
+analytic surface (``all_facets``, HIFUN under both engines), at any
+shard count, in both the sequential and the forced-process executor
+modes.  Mutation keeps the per-shard stats exactly as tight as the
+flat store's (the PR-2 pruning guarantees, here crossed with shards).
+"""
+
+import copy
+import random
+
+import pytest
+
+from repro.datasets import SyntheticConfig, synthetic_graph
+from repro.facets import FacetedAnalyticsSession, FacetedSession
+from repro.facets.sparql_backend import temp_extension
+from repro.hifun import Attribute, HifunQuery, compose
+from repro.hifun.evaluator import evaluate_hifun, evaluate_hifun_row
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import EX, RDF
+from repro.rdf.sharding import (
+    PARALLEL_ENV,
+    ShardedGraph,
+    shard_of,
+)
+from repro.rdf.terms import Literal
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def seeded_graph(seed: int = 11, items: int = 40) -> Graph:
+    """A ragged random product graph (multi-valued and missing values)."""
+    rng = random.Random(seed)
+    graph = Graph()
+    makers = [EX[f"maker{i}"] for i in range(6)]
+    countries = [EX[f"country{i}"] for i in range(3)]
+    for index, who in enumerate(makers):
+        graph.add(who, EX.origin, countries[index % 3])
+    for i in range(items):
+        item = EX[f"item{i}"]
+        graph.add(item, RDF.type, EX.Widget)
+        graph.add(item, EX.maker, rng.choice(makers))
+        if rng.random() < 0.3:
+            graph.add(item, EX.maker, rng.choice(makers))
+        if rng.random() < 0.8:
+            graph.add(item, EX.price, Literal.of(rng.randrange(10, 500)))
+        if rng.random() < 0.5:
+            graph.add(item, EX.ports, Literal.of(rng.randrange(0, 4)))
+    return graph
+
+
+def rollup(store: ShardedGraph):
+    """Recompute the global stats from the shard slices, brute force."""
+    size = sum(shard.size for shard in store.shards)
+    pred_count = {}
+    for shard in store.shards:
+        for pid, n in shard.pred_count.items():
+            pred_count[pid] = pred_count.get(pid, 0) + n
+    return size, pred_count
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_from_graph_partitions_by_subject_hash(self, shards):
+        graph = seeded_graph()
+        store = ShardedGraph.from_graph(graph, shards=shards)
+        assert store.num_shards == shards
+        assert len(store) == len(graph)
+        assert set(store) == set(graph)
+        for index, shard in enumerate(store.shards):
+            for si in shard.spo:
+                assert shard_of(si, shards) == index
+        # Shard sizes partition the triple count, and every non-empty
+        # shard's subjects are disjoint from every other's.
+        assert sum(store.shard_sizes()) == len(store)
+        seen = set()
+        for shard in store.shards:
+            subjects = set(shard.spo)
+            assert not (subjects & seen)
+            seen |= subjects
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_stats_rollup_matches_shards(self, shards):
+        store = ShardedGraph.from_graph(seeded_graph(), shards=shards)
+        size, pred_count = rollup(store)
+        assert size == len(store)
+        assert pred_count == store._pred_count
+        assert store.predicate_counts() == seeded_graph().predicate_counts()
+
+    def test_rejects_identity_encoding_and_bad_shard_counts(self):
+        with pytest.raises(ValueError):
+            ShardedGraph(encoded=False)
+        with pytest.raises(ValueError):
+            ShardedGraph(shards=0)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_pattern_matching_identical(self, shards):
+        graph = seeded_graph()
+        store = ShardedGraph.from_graph(graph, shards=shards)
+        item = EX.item3
+        patterns = [
+            (None, None, None),
+            (item, None, None),
+            (None, EX.maker, None),
+            (None, None, EX.maker1),
+            (item, EX.maker, None),
+            (item, None, EX.maker1),
+            (None, EX.maker, EX.maker1),
+            (item, RDF.type, EX.Widget),
+        ]
+        for s, p, o in patterns:
+            assert (sorted(store.triples(s, p, o))
+                    == sorted(graph.triples(s, p, o))), (s, p, o)
+            for triple in graph.triples(s, p, o):
+                assert triple in store
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_id_accessors_merge_across_shards(self, shards):
+        graph = seeded_graph()
+        store = ShardedGraph.from_graph(graph, shards=shards)
+        # Same dictionary ids (the clone keeps assignments), so id-level
+        # results are directly comparable.
+        maker_id = store.encode_term(EX.maker)
+        assert maker_id == graph.encode_term(EX.maker)
+        assert store.pos_ids(maker_id) == graph.pos_ids(maker_id)
+        assert store.osp_ids(store.encode_term(EX.maker1)) == graph.osp_ids(
+            graph.encode_term(EX.maker1))
+        for oi in list(graph.all_objects())[:20]:
+            assert store.subjects_ids(maker_id, oi) == graph.subjects_ids(
+                maker_id, oi)
+        assert sorted(store.all_subject_ids()) == sorted(graph.all_subject_ids())
+        assert set(store.all_predicate_ids()) == set(graph.all_predicate_ids())
+        assert set(store.all_objects()) == set(graph.all_objects())
+        for si in list(graph.all_subject_ids())[:20]:
+            assert store.spo_ids(si) == graph.spo_ids(si)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_copy_and_filter_preserve_shardedness(self, shards):
+        store = ShardedGraph.from_graph(seeded_graph(), shards=shards)
+        clone = store.copy()
+        assert isinstance(clone, ShardedGraph)
+        assert clone.num_shards == shards
+        assert set(clone) == set(store)
+        filtered = store.filter_subjects({EX.item1, EX.item2})
+        assert isinstance(filtered, ShardedGraph)
+        assert filtered.num_shards == shards
+
+
+def shard_stats_snapshot(store: ShardedGraph):
+    return [
+        (copy.deepcopy(shard.spo), copy.deepcopy(shard.pos),
+         copy.deepcopy(shard.osp), dict(shard.pred_count), shard.size)
+        for shard in store.shards
+    ]
+
+
+class TestShardStatsExactness:
+    """PR-2's pruning guarantees, crossed with the shard axis: add →
+    remove cycles restore every shard slice exactly, and the per-shard
+    stats never hold zero or stale entries."""
+
+    @pytest.mark.parametrize("shards", (2, 4, 7))
+    def test_add_remove_cycle_restores_every_shard(self, shards):
+        store = ShardedGraph.from_graph(seeded_graph(), shards=shards)
+        before = shard_stats_snapshot(store)
+        generation = store.generation
+        subjects = [EX[f"item{i}"] for i in range(12)]
+        for cycle in range(3):
+            for s in subjects:
+                assert store.add(s, RDF.type, EX.temp)
+            for s in subjects:
+                assert store.remove(s, RDF.type, EX.temp)
+            assert shard_stats_snapshot(store) == before
+        # Generation algebra: +1 per add, +1 per remove, per cycle.
+        assert store.generation == generation + 3 * 2 * len(subjects)
+
+    @pytest.mark.parametrize("shards", (2, 4, 7))
+    def test_temp_extension_leaves_no_shard_residue(self, shards):
+        store = ShardedGraph.from_graph(seeded_graph(), shards=shards)
+        before = shard_stats_snapshot(store)
+        with temp_extension(store, [EX[f"item{i}"] for i in range(10)]):
+            pass
+        assert shard_stats_snapshot(store) == before
+        for shard in store.shards:
+            assert all(n > 0 for n in shard.pred_count.values())
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_removing_a_predicate_prunes_every_shard(self, shards):
+        store = ShardedGraph.from_graph(seeded_graph(), shards=shards)
+        price_id = store.encode_term(EX.price)
+        for s, p, o in list(store.triples(None, EX.price, None)):
+            assert store.remove(s, p, o)
+        assert store.count(None, EX.price, None) == 0
+        assert EX.price not in store.predicate_counts()
+        for shard in store.shards:
+            assert price_id not in shard.pred_count
+            assert price_id not in shard.pos
+
+    def test_removing_everything_empties_every_shard(self):
+        store = ShardedGraph.from_graph(seeded_graph(items=10), shards=4)
+        for s, p, o in list(store):
+            store.remove(s, p, o)
+        assert len(store) == 0
+        for shard in store.shards:
+            assert shard.spo == {} and shard.pos == {} and shard.osp == {}
+            assert shard.pred_count == {} and shard.size == 0
+
+
+class TestAnalyticInvariance:
+    """Satellite 5's tier-1 pin: shard count changes nothing observable
+    in the session surfaces."""
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_all_facets_invariant_under_shard_count(self, shards):
+        graph = seeded_graph(seed=23)
+        flat = FacetedSession(graph)
+        flat.select_class(EX.Widget)
+        session = FacetedSession(ShardedGraph.from_graph(graph, shards=shards))
+        session.select_class(EX.Widget)
+        for include_inverse in (False, True):
+            assert (session.all_facets(include_inverse)
+                    == flat.all_facets(include_inverse))
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_analytic_query_invariant_under_shard_count(self, shards):
+        graph = seeded_graph(seed=23)
+        query = HifunQuery(
+            compose(Attribute(EX.origin), Attribute(EX.maker)),
+            Attribute(EX.price), ("AVG", "COUNT"))
+        reference = evaluate_hifun_row(graph, query, root_class=EX.Widget)
+        store = ShardedGraph.from_graph(graph, shards=shards)
+        answer = evaluate_hifun(store, query, root_class=EX.Widget,
+                                engine="columnar")
+        assert answer.rows() == reference.rows()
+
+    @pytest.mark.parametrize("shards", (1, 4))
+    def test_closure_session_preserves_shardedness(self, shards):
+        store = ShardedGraph.from_graph(
+            synthetic_graph(SyntheticConfig(laptops=30, seed=7)),
+            shards=shards)
+        session = FacetedAnalyticsSession(store)
+        assert session.graph.num_shards == shards
+        flat = FacetedAnalyticsSession(
+            synthetic_graph(SyntheticConfig(laptops=30, seed=7)))
+        session.select_class(EX.Laptop)
+        flat.select_class(EX.Laptop)
+        assert session.all_facets() == flat.all_facets()
+        for who in (session, flat):
+            who.group_by((EX.manufacturer,))
+            who.measure((EX.price,), "AVG")
+        assert session.run("columnar").rows == flat.run("row").rows
+
+
+class TestExecutorModes:
+    def test_sequential_env_disables_fanout(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "sequential")
+        store = ShardedGraph.from_graph(seeded_graph(), shards=4)
+        assert not store.executor().active()
+        store.close()
+
+    def test_small_graphs_fall_back_in_auto_mode(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_ENV, raising=False)
+        store = ShardedGraph.from_graph(seeded_graph(), shards=4)
+        # Far below PARALLEL_MIN_TRIPLES: auto mode never forks.
+        assert not store.executor().active()
+        store.close()
+
+    def test_invalid_mode_is_rejected(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "turbo")
+        store = ShardedGraph.from_graph(seeded_graph(), shards=4)
+        with pytest.raises(ValueError):
+            store.executor().active()
+        store.close()
+
+    def test_forced_process_mode_matches_sequential(self, monkeypatch):
+        """The fork-pool fan-out path must return exactly what the
+        in-process shard-by-shard path returns, for facet counts and
+        for both directions of the successor prefetch."""
+        graph = seeded_graph(seed=31)
+        store = ShardedGraph.from_graph(graph, shards=4)
+        session = FacetedSession(store)
+        session.select_class(EX.Widget)
+        expected_facets = [session.all_facets(inv) for inv in (False, True)]
+
+        monkeypatch.setenv(PARALLEL_ENV, "process")
+        forced = ShardedGraph.from_graph(graph, shards=4)
+        try:
+            if not forced.executor().active():  # pragma: no cover
+                pytest.skip("fork start method unavailable")
+            forced_session = FacetedSession(forced)
+            forced_session.select_class(EX.Widget)
+            assert [forced_session.all_facets(inv)
+                    for inv in (False, True)] == expected_facets
+
+            maker_id = forced.encode_term(EX.maker)
+            nodes = sorted(forced.all_subject_ids())
+            sort_key = lambda i: forced.decode_id(i).sort_key()  # noqa: E731
+            for inverse in (False, True):
+                fanned = forced.prefetch_successors(
+                    nodes, maker_id, inverse, sort_key)
+                for node in nodes:
+                    expected = (
+                        store.subjects_ids(maker_id, node) if inverse
+                        else store.objects_ids(node, maker_id))
+                    assert fanned[node] == tuple(
+                        sorted(expected, key=sort_key)), (node, inverse)
+        finally:
+            forced.close()
+            store.close()
+
+    def test_mutation_invalidates_the_pool(self, monkeypatch):
+        """A fork snapshot is stale after any mutation; the executor
+        must rebuild and serve post-mutation answers."""
+        monkeypatch.setenv(PARALLEL_ENV, "process")
+        store = ShardedGraph.from_graph(seeded_graph(seed=13), shards=2)
+        try:
+            if not store.executor().active():  # pragma: no cover
+                pytest.skip("fork start method unavailable")
+            session = FacetedSession(store)
+            session.select_class(EX.Widget)
+            before = session.all_facets()
+            store.add(EX.item0, EX.ports, Literal.of(99))
+            session = FacetedSession(store)
+            session.select_class(EX.Widget)
+            after = session.all_facets()
+            assert before != after
+            flat = Graph(store.triples())
+            flat_session = FacetedSession(flat)
+            flat_session.select_class(EX.Widget)
+            assert after == flat_session.all_facets()
+        finally:
+            store.close()
+
+
+class TestCLI:
+    def test_shards_flag_builds_a_sharded_store(self):
+        from repro.app.cli import build_shell
+
+        shell = build_shell(["--shards", "3"])
+        assert isinstance(shell.graph, ShardedGraph)
+        assert shell.graph.num_shards == 3
+
+    def test_shards_flag_rejects_nonpositive(self, capsys):
+        from repro.app.cli import build_shell
+
+        with pytest.raises(SystemExit):
+            build_shell(["--shards", "0"])

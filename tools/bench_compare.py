@@ -7,6 +7,7 @@ baseline against a candidate run of the same benchmark::
 
     python tools/bench_compare.py baseline.json candidate.json
     python tools/bench_compare.py --threshold 0.10 old.json new.json
+    python tools/bench_compare.py --dir benchmarks/out /tmp/bench-out
 
 An operation regresses when its candidate median exceeds the baseline
 by more than ``--threshold`` (a fraction: 0.25 means "25 % slower
@@ -14,12 +15,19 @@ fails").  The exit status is the CI contract: 0 when nothing regressed,
 1 when something did, 2 on unusable input (missing file, schema
 mismatch, different benchmarks).  Operations present in only one file
 are reported but never fail the gate — benchmarks are allowed to grow.
+
+``--dir`` switches the two arguments to *directories*: every
+``*.json`` filename present in both trees is diffed pairwise under the
+same exit contract (any regression anywhere → 1, any unusable pair →
+2), and filenames present on only one side are reported but never fail
+the gate, mirroring the per-operation growth rule one level up.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Tuple
 
@@ -83,6 +91,46 @@ def compare(
     return lines, regressions
 
 
+def compare_dirs(
+    base_dir: str,
+    cand_dir: str,
+    threshold: float,
+) -> Tuple[List[str], List[str], List[str]]:
+    """Diff every same-named ``*.json`` artifact between two directories.
+
+    Returns ``(report lines, regressed labels, unusable filenames)``.
+    Regressed labels are qualified as ``<filename>:<op>`` so a multi-
+    artifact report stays unambiguous.  A pair that cannot be diffed
+    (bad schema, mismatched benchmark names) lands in the third list
+    instead of aborting the whole sweep — the caller still exits 2.
+    """
+    base_names = {n for n in os.listdir(base_dir) if n.endswith(".json")}
+    cand_names = {n for n in os.listdir(cand_dir) if n.endswith(".json")}
+    lines: List[str] = []
+    regressions: List[str] = []
+    unusable: List[str] = []
+    for name in sorted(base_names | cand_names):
+        if name not in base_names:
+            lines.append(f"new artifact      {name} (no baseline)")
+            continue
+        if name not in cand_names:
+            lines.append(f"missing artifact  {name} (baseline only)")
+            continue
+        try:
+            baseline = load_artifact(os.path.join(base_dir, name))
+            candidate = load_artifact(os.path.join(cand_dir, name))
+            pair_lines, pair_regressions = compare(
+                baseline, candidate, threshold)
+        except (OSError, ValueError, json.JSONDecodeError, KeyError) as exc:
+            lines.append(f"unusable          {name}: {exc}")
+            unusable.append(name)
+            continue
+        lines.append(f"{baseline['name']} [{name}]")
+        lines.extend(pair_lines)
+        regressions.extend(f"{name}:{label}" for label in pair_regressions)
+    return lines, regressions, unusable
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate on regressions between two bench JSON artifacts.")
@@ -92,10 +140,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--threshold", type=float, default=0.25,
         help="allowed slowdown fraction before an op regresses "
              "(default 0.25 = 25%%)")
+    parser.add_argument(
+        "--dir", action="store_true",
+        help="treat the two arguments as directories and diff every "
+             "*.json filename present in both")
     args = parser.parse_args(argv)
     if args.threshold < 0:
         print("threshold must be non-negative", file=sys.stderr)
         return 2
+    if args.dir:
+        if not os.path.isdir(args.baseline) or not os.path.isdir(args.candidate):
+            print("bench_compare: --dir arguments must both be directories",
+                  file=sys.stderr)
+            return 2
+        lines, regressions, unusable = compare_dirs(
+            args.baseline, args.candidate, args.threshold)
+        print(f"bench_compare: {args.baseline} vs {args.candidate} "
+              f"(threshold {args.threshold:.0%})")
+        for line in lines:
+            print(line)
+        if unusable:
+            print(f"{len(unusable)} artifact(s) unusable: "
+                  + ", ".join(unusable), file=sys.stderr)
+            return 2
+        if regressions:
+            print(f"{len(regressions)} operation(s) regressed: "
+                  + ", ".join(regressions))
+            return 1
+        print("no regressions")
+        return 0
     try:
         baseline = load_artifact(args.baseline)
         candidate = load_artifact(args.candidate)
